@@ -1,0 +1,51 @@
+# NRMI build and reproduction targets. Stdlib-only; Go >= 1.22.
+
+GO ?= go
+
+.PHONY: all build test race cover bench tables verify-tables loc examples fuzz clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+cover:
+	$(GO) test -coverprofile=cover.out ./... && $(GO) tool cover -func=cover.out | tail -1
+
+# Micro-benchmarks: one Benchmark per paper table, plus ablations.
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Regenerate the paper's Tables 1-7 over the simulated testbed.
+tables:
+	$(GO) run ./cmd/nrmi-bench
+
+# Same, with the restore invariant re-verified in every cell.
+verify-tables:
+	$(GO) run ./cmd/nrmi-bench -verify
+
+# The usability lines-of-code report (paper Section 5.3.2).
+loc:
+	$(GO) run ./cmd/nrmi-bench -loc
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/translator
+	$(GO) run ./examples/multiindex
+	$(GO) run ./examples/treedemo
+	$(GO) run ./examples/faults
+	$(GO) run ./examples/callbacks
+	$(GO) run ./cmd/nrmi-demo
+
+fuzz:
+	$(GO) test -fuzz=FuzzDecode -fuzztime=30s ./internal/wire/
+
+clean:
+	rm -f cover.out test_output.txt bench_output.txt

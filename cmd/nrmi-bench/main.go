@@ -1,0 +1,104 @@
+// Command nrmi-bench regenerates the paper's evaluation (Section 5.3):
+// Tables 1–6 plus the delta-encoding extension table, over the simulated
+// two-machine testbed. Absolute milliseconds depend on the host; the
+// shapes (who wins, by what factor, where the crossovers fall) are what
+// EXPERIMENTS.md compares against the paper.
+//
+// Usage:
+//
+//	nrmi-bench [-sizes 16,64,256,1024] [-iters 5] [-seed 1] [-verify]
+//	           [-md] [-details] [-loc] [-cbref-budget 20s] [-quiet]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"nrmi/internal/bench"
+)
+
+func main() {
+	var (
+		sizesFlag   = flag.String("sizes", "16,64,256,1024", "comma-separated tree sizes")
+		iters       = flag.Int("iters", 5, "iterations averaged per cell")
+		seed        = flag.Int64("seed", 1, "base seed for workload generation")
+		verify      = flag.Bool("verify", false, "verify the restore invariant on each cell's first iteration")
+		md          = flag.Bool("md", false, "emit markdown instead of aligned text")
+		details     = flag.Bool("details", false, "also emit per-cell bytes/messages (markdown)")
+		loc         = flag.Bool("loc", false, "print the manual-restore lines-of-code report and exit")
+		cbrefBudget = flag.Duration("cbref-budget", 5*time.Second, "per-call budget for the call-by-reference table ('-' cells beyond it)")
+		quiet       = flag.Bool("quiet", false, "suppress progress lines")
+		table       = flag.String("table", "", "only print tables whose id contains this substring (e.g. 5); all tables still run")
+	)
+	flag.Parse()
+
+	if *loc {
+		report, err := bench.CountManualLoC()
+		if err != nil {
+			log.Fatalf("nrmi-bench: %v", err)
+		}
+		fmt.Print(report)
+		return
+	}
+
+	sizes, err := parseSizes(*sizesFlag)
+	if err != nil {
+		log.Fatalf("nrmi-bench: %v", err)
+	}
+	cfg := bench.HarnessConfig{
+		Sizes:       sizes,
+		Iterations:  *iters,
+		Seed:        *seed,
+		Verify:      *verify,
+		CBRefBudget: *cbrefBudget,
+	}
+	if !*quiet {
+		cfg.Log = func(line string) { fmt.Fprintln(os.Stderr, line) }
+	}
+
+	start := time.Now()
+	tables, err := bench.RunAll(cfg)
+	if err != nil {
+		log.Fatalf("nrmi-bench: %v", err)
+	}
+	for _, t := range tables {
+		if *table != "" && !strings.Contains(t.ID, *table) {
+			continue
+		}
+		if *md {
+			fmt.Print(t.Markdown())
+			if *details {
+				fmt.Print(t.DetailMarkdown())
+			}
+		} else {
+			fmt.Println(t.Format())
+		}
+	}
+	if !*quiet {
+		fmt.Fprintf(os.Stderr, "total run time: %s\n", time.Since(start).Round(time.Millisecond))
+	}
+}
+
+func parseSizes(s string) ([]int, error) {
+	var sizes []int
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		n, err := strconv.Atoi(part)
+		if err != nil || n <= 0 {
+			return nil, fmt.Errorf("bad size %q", part)
+		}
+		sizes = append(sizes, n)
+	}
+	if len(sizes) == 0 {
+		return nil, fmt.Errorf("no sizes given")
+	}
+	return sizes, nil
+}

@@ -1,0 +1,32 @@
+package main
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestParseSizes(t *testing.T) {
+	cases := []struct {
+		in      string
+		want    []int
+		wantErr bool
+	}{
+		{"16,64,256,1024", []int{16, 64, 256, 1024}, false},
+		{" 8 , 32 ", []int{8, 32}, false},
+		{"8,,32", []int{8, 32}, false},
+		{"", nil, true},
+		{"abc", nil, true},
+		{"0", nil, true},
+		{"-4", nil, true},
+	}
+	for _, c := range cases {
+		got, err := parseSizes(c.in)
+		if (err != nil) != c.wantErr {
+			t.Errorf("parseSizes(%q) err = %v", c.in, err)
+			continue
+		}
+		if !c.wantErr && !reflect.DeepEqual(got, c.want) {
+			t.Errorf("parseSizes(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}

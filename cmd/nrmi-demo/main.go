@@ -1,0 +1,216 @@
+// Command nrmi-demo replays the paper's running example (Figures 1–9): the
+// tree with two aliases, mutated by the remote method foo, under each
+// calling semantics. It prints the client-visible heap after the call so
+// the semantic differences are directly observable.
+//
+// Usage:
+//
+//	nrmi-demo [-semantics all|local|copy|restore|dce]
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+
+	"nrmi"
+)
+
+// Tree is the running example's node type (restorable variant).
+type Tree struct {
+	Data        int
+	Left, Right *Tree
+}
+
+// NRMIRestorable opts Tree into call-by-copy-restore.
+func (*Tree) NRMIRestorable() {}
+
+// CTree is the plain call-by-copy variant of the same structure.
+type CTree struct {
+	Data        int
+	Left, Right *CTree
+}
+
+// Service hosts the paper's function foo in both representations.
+type Service struct{}
+
+// Foo is the paper's Section 2 function, verbatim.
+func (s *Service) Foo(tree *Tree) {
+	tree.Left.Data = 0
+	tree.Right.Data = 9
+	tree.Right.Right.Data = 8
+	tree.Left = nil
+	temp := &Tree{Data: 2, Left: tree.Right.Right}
+	tree.Right.Right = nil
+	tree.Right = temp
+}
+
+// FooCopy is foo against a by-copy tree: all changes are lost.
+func (s *Service) FooCopy(tree *CTree) {
+	tree.Left.Data = 0
+	tree.Right.Data = 9
+	tree.Right.Right.Data = 8
+	tree.Left = nil
+	temp := &CTree{Data: 2, Left: tree.Right.Right}
+	tree.Right.Right = nil
+	tree.Right = temp
+}
+
+// build constructs the Figure 1 heap: t, alias1 → t.Left, alias2 → t.Right.
+func build() (t, alias1, alias2 *Tree) {
+	rl := &Tree{Data: 3}
+	rr := &Tree{Data: 4}
+	l := &Tree{Data: 1}
+	r := &Tree{Data: 7, Left: rl, Right: rr}
+	t = &Tree{Data: 5, Left: l, Right: r}
+	return t, l, r
+}
+
+func buildC() (t, alias1, alias2 *CTree) {
+	rl := &CTree{Data: 3}
+	rr := &CTree{Data: 4}
+	l := &CTree{Data: 1}
+	r := &CTree{Data: 7, Left: rl, Right: rr}
+	t = &CTree{Data: 5, Left: l, Right: r}
+	return t, l, r
+}
+
+// render prints a tree with cycle protection.
+func render(n *Tree, seen map[*Tree]bool) string {
+	if n == nil {
+		return "·"
+	}
+	if seen[n] {
+		return fmt.Sprintf("^%d", n.Data)
+	}
+	seen[n] = true
+	if n.Left == nil && n.Right == nil {
+		return fmt.Sprintf("%d", n.Data)
+	}
+	return fmt.Sprintf("%d(%s %s)", n.Data, render(n.Left, seen), render(n.Right, seen))
+}
+
+func renderC(n *CTree) string {
+	conv := func(c *CTree) *Tree { return convC(c, map[*CTree]*Tree{}) }
+	return render(conv(n), map[*Tree]bool{})
+}
+
+func convC(c *CTree, memo map[*CTree]*Tree) *Tree {
+	if c == nil {
+		return nil
+	}
+	if m, ok := memo[c]; ok {
+		return m
+	}
+	m := &Tree{Data: c.Data}
+	memo[c] = m
+	m.Left = convC(c.Left, memo)
+	m.Right = convC(c.Right, memo)
+	return m
+}
+
+func show(title string, t, a1, a2 *Tree) {
+	fmt.Printf("%-28s t = %-24s alias1 = %-12s alias2 = %s\n",
+		title+":", render(t, map[*Tree]bool{}), render(a1, map[*Tree]bool{}), render(a2, map[*Tree]bool{}))
+}
+
+func newServer(opts nrmi.Options) (addr string, cleanup func(), err error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return "", nil, err
+	}
+	srv, err := nrmi.NewServer(ln.Addr().String(), opts)
+	if err != nil {
+		return "", nil, err
+	}
+	if err := srv.Export("svc", &Service{}); err != nil {
+		return "", nil, err
+	}
+	srv.Serve(ln)
+	return ln.Addr().String(), func() { srv.Close() }, nil
+}
+
+func main() {
+	semantics := flag.String("semantics", "all", "all|local|copy|restore|dce")
+	flag.Parse()
+
+	reg := nrmi.NewRegistry()
+	for name, sample := range map[string]any{"demo.Tree": Tree{}, "demo.CTree": CTree{}} {
+		if err := reg.Register(name, sample); err != nil {
+			log.Fatal(err)
+		}
+	}
+	ctx := context.Background()
+
+	want := func(mode string) bool { return *semantics == "all" || *semantics == mode }
+
+	t0, a10, a20 := build()
+	show("initial heap (Figure 1)", t0, a10, a20)
+	fmt.Println()
+
+	if want("local") {
+		t, a1, a2 := build()
+		(&Service{}).Foo(t)
+		show("local call (Figure 2)", t, a1, a2)
+	}
+
+	if want("copy") {
+		opts := nrmi.Options{Registry: reg}
+		addr, cleanup, err := newServer(opts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cl, err := nrmi.NewClient(nrmi.TCPDialer(), opts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		t, a1, a2 := buildC()
+		if _, err := cl.Stub(addr, "svc").Call(ctx, "FooCopy", t); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-28s t = %-24s alias1 = %-12s alias2 = %s   (all changes LOST)\n",
+			"RMI call-by-copy:", renderC(t), renderC(a1), renderC(a2))
+		cl.Close()
+		cleanup()
+	}
+
+	if want("restore") {
+		opts := nrmi.Options{Registry: reg}
+		addr, cleanup, err := newServer(opts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cl, err := nrmi.NewClient(nrmi.TCPDialer(), opts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		t, a1, a2 := build()
+		if _, err := cl.Stub(addr, "svc").Call(ctx, "Foo", t); err != nil {
+			log.Fatal(err)
+		}
+		show("NRMI copy-restore (Fig 8)", t, a1, a2)
+		cl.Close()
+		cleanup()
+	}
+
+	if want("dce") {
+		opts := nrmi.Options{Registry: reg, DCECompat: true}
+		addr, cleanup, err := newServer(opts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cl, err := nrmi.NewClient(nrmi.TCPDialer(), opts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		t, a1, a2 := build()
+		if _, err := cl.Stub(addr, "svc").Call(ctx, "Foo", t); err != nil {
+			log.Fatal(err)
+		}
+		show("DCE RPC semantics (Fig 9)", t, a1, a2)
+		cl.Close()
+		cleanup()
+	}
+}

@@ -1,0 +1,6 @@
+package main
+
+import "nrmi"
+
+// newRegistry builds the naming service; split out for testability.
+func newRegistry() *nrmi.RegistryServer { return nrmi.NewRegistryServer() }

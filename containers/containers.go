@@ -1,0 +1,156 @@
+// Package containers provides ready-made restorable collection types: the
+// Go analog of the paper's RestorableHashMap pattern (Section 5.1), where
+// standard collections are subclassed (or wrapped by delegation) to opt
+// into call-by-copy-restore.
+//
+// All three types carry the NRMIRestorable marker, so passing a pointer to
+// one as a remote-method argument restores every mutation — insertions,
+// deletions, growth — on the caller, visible through every alias.
+//
+// List deliberately wraps its backing slice inside a struct: the slice
+// header field is overwritten during restore, so a remote method may
+// append or shrink freely — the delegation answer to the fixed-length
+// array model that raw slices live under.
+//
+// Each concrete instantiation crossing the wire must be registered on both
+// endpoints, e.g.:
+//
+//	reg.Register("StrIntMap", containers.Map[string, int]{})
+package containers
+
+// Map is a restorable hash map.
+type Map[K comparable, V any] struct {
+	// Entries is the backing map; exported so the codec can reach it.
+	// Prefer the methods for access.
+	Entries map[K]V
+}
+
+// NRMIRestorable marks Map for call-by-copy-restore.
+func (*Map[K, V]) NRMIRestorable() {}
+
+// NewMap returns an empty restorable map.
+func NewMap[K comparable, V any]() *Map[K, V] {
+	return &Map[K, V]{Entries: make(map[K]V)}
+}
+
+// Get returns the value for key and whether it was present.
+func (m *Map[K, V]) Get(key K) (V, bool) {
+	v, ok := m.Entries[key]
+	return v, ok
+}
+
+// Put stores value under key.
+func (m *Map[K, V]) Put(key K, value V) {
+	if m.Entries == nil {
+		m.Entries = make(map[K]V)
+	}
+	m.Entries[key] = value
+}
+
+// Delete removes key; absent keys are a no-op.
+func (m *Map[K, V]) Delete(key K) {
+	delete(m.Entries, key)
+}
+
+// Len returns the entry count.
+func (m *Map[K, V]) Len() int { return len(m.Entries) }
+
+// Range calls f for every entry until f returns false.
+func (m *Map[K, V]) Range(f func(key K, value V) bool) {
+	for k, v := range m.Entries {
+		if !f(k, v) {
+			return
+		}
+	}
+}
+
+// List is a restorable growable sequence. Because the backing slice is a
+// field of the (identity-bearing) List struct, remote methods may resize
+// it and the restore lands on the caller.
+type List[T any] struct {
+	// Items is the backing slice; exported so the codec can reach it.
+	// Prefer the methods for access.
+	Items []T
+}
+
+// NRMIRestorable marks List for call-by-copy-restore.
+func (*List[T]) NRMIRestorable() {}
+
+// NewList returns a list with the given initial items.
+func NewList[T any](items ...T) *List[T] {
+	l := &List[T]{}
+	l.Items = append(l.Items, items...)
+	return l
+}
+
+// Len returns the element count.
+func (l *List[T]) Len() int { return len(l.Items) }
+
+// At returns the i-th element.
+func (l *List[T]) At(i int) T { return l.Items[i] }
+
+// Set overwrites the i-th element.
+func (l *List[T]) Set(i int, v T) { l.Items[i] = v }
+
+// Append adds values at the end. The backing slice is replaced
+// copy-on-write so the list never creates overlapping slice views, which
+// the restore model rejects.
+func (l *List[T]) Append(values ...T) {
+	next := make([]T, 0, len(l.Items)+len(values))
+	next = append(next, l.Items...)
+	next = append(next, values...)
+	l.Items = next
+}
+
+// Remove deletes the i-th element, copy-on-write.
+func (l *List[T]) Remove(i int) {
+	next := make([]T, 0, len(l.Items)-1)
+	next = append(next, l.Items[:i]...)
+	next = append(next, l.Items[i+1:]...)
+	l.Items = next
+}
+
+// Range calls f for each element until f returns false.
+func (l *List[T]) Range(f func(i int, v T) bool) {
+	for i, v := range l.Items {
+		if !f(i, v) {
+			return
+		}
+	}
+}
+
+// Set is a restorable set.
+type Set[T comparable] struct {
+	// Members is the backing map; exported so the codec can reach it.
+	// Prefer the methods for access.
+	Members map[T]bool
+}
+
+// NRMIRestorable marks Set for call-by-copy-restore.
+func (*Set[T]) NRMIRestorable() {}
+
+// NewSet returns a set of the given members.
+func NewSet[T comparable](members ...T) *Set[T] {
+	s := &Set[T]{Members: make(map[T]bool, len(members))}
+	for _, m := range members {
+		s.Members[m] = true
+	}
+	return s
+}
+
+// Add inserts a member.
+func (s *Set[T]) Add(m T) {
+	if s.Members == nil {
+		s.Members = make(map[T]bool)
+	}
+	s.Members[m] = true
+}
+
+// Remove deletes a member; absent members are a no-op.
+func (s *Set[T]) Remove(m T) { delete(s.Members, m) }
+
+// Has reports membership.
+func (s *Set[T]) Has(m T) bool { return s.Members[m] }
+
+// Len returns the member count.
+func (s *Set[T]) Len() int { return len(s.Members) }

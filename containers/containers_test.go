@@ -1,0 +1,273 @@
+package containers_test
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"testing"
+	"testing/quick"
+
+	"nrmi"
+	"nrmi/containers"
+)
+
+// ContainerService mutates all three container kinds remotely.
+type ContainerService struct{}
+
+// Reprice doubles every value, adds one entry, removes another.
+func (s *ContainerService) Reprice(m *containers.Map[string, int]) int {
+	m.Range(func(k string, v int) bool {
+		m.Put(k, v*2)
+		return true
+	})
+	m.Put("added", 1)
+	m.Delete("stale")
+	return m.Len()
+}
+
+// Extend appends and removes list elements — growth the raw-slice model
+// cannot restore, but the List wrapper can.
+func (s *ContainerService) Extend(l *containers.List[string]) {
+	l.Append("x", "y")
+	l.Remove(0)
+	l.Set(0, "first")
+}
+
+// Toggle flips membership.
+func (s *ContainerService) Toggle(set *containers.Set[int]) {
+	if set.Has(1) {
+		set.Remove(1)
+	} else {
+		set.Add(1)
+	}
+	set.Add(99)
+}
+
+// ApplyMapOps replays a scripted op sequence for the property test.
+func (s *ContainerService) ApplyMapOps(m *containers.Map[string, int], ops []MapOp) {
+	applyMapOps(m, ops)
+}
+
+// MapOp is one scripted map mutation.
+type MapOp struct {
+	Put bool
+	Key string
+	Val int
+}
+
+func applyMapOps(m *containers.Map[string, int], ops []MapOp) {
+	for _, op := range ops {
+		if op.Put {
+			m.Put(op.Key, op.Val)
+		} else {
+			m.Delete(op.Key)
+		}
+	}
+}
+
+type fixture struct {
+	addr   string
+	client *nrmi.Client
+}
+
+func newFixture(t *testing.T) *fixture {
+	t.Helper()
+	reg := nrmi.NewRegistry()
+	for name, sample := range map[string]any{
+		"c.MapSI":  containers.Map[string, int]{},
+		"c.ListS":  containers.List[string]{},
+		"c.SetI":   containers.Set[int]{},
+		"c.MapOp":  MapOp{},
+		"c.MapOps": []MapOp{},
+	} {
+		if err := reg.Register(name, sample); err != nil {
+			t.Fatal(err)
+		}
+	}
+	opts := nrmi.Options{Registry: reg}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := nrmi.NewServer(ln.Addr().String(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Export("containers", &ContainerService{}); err != nil {
+		t.Fatal(err)
+	}
+	srv.Serve(ln)
+	t.Cleanup(func() { srv.Close() })
+	client, err := nrmi.NewClient(nrmi.TCPDialer(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { client.Close() })
+	return &fixture{addr: ln.Addr().String(), client: client}
+}
+
+func TestMapRestoresRemotely(t *testing.T) {
+	f := newFixture(t)
+	m := containers.NewMap[string, int]()
+	m.Put("a", 10)
+	m.Put("stale", 1)
+	aliasEntries := m.Entries // an alias of the backing map object
+
+	rets, err := f.client.Stub(f.addr, "containers").Call(context.Background(), "Reprice", m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rets[0].(int) != 2 {
+		t.Fatalf("len = %v", rets[0])
+	}
+	if v, _ := m.Get("a"); v != 20 {
+		t.Fatalf("a = %d", v)
+	}
+	if _, ok := m.Get("stale"); ok {
+		t.Fatal("deletion not restored")
+	}
+	if v, _ := m.Get("added"); v != 1 {
+		t.Fatal("insertion not restored")
+	}
+	if aliasEntries["a"] != 20 {
+		t.Fatal("alias of backing map must see the restore")
+	}
+}
+
+func TestListGrowsRemotely(t *testing.T) {
+	f := newFixture(t)
+	l := containers.NewList("a", "b")
+	if _, err := f.client.Stub(f.addr, "containers").Call(context.Background(), "Extend", l); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"first", "x", "y"}
+	if l.Len() != len(want) {
+		t.Fatalf("len = %d, items = %v", l.Len(), l.Items)
+	}
+	for i, w := range want {
+		if l.At(i) != w {
+			t.Fatalf("items = %v, want %v", l.Items, want)
+		}
+	}
+}
+
+func TestSetTogglesRemotely(t *testing.T) {
+	f := newFixture(t)
+	s := containers.NewSet(1, 2)
+	stub := f.client.Stub(f.addr, "containers")
+	ctx := context.Background()
+	if _, err := stub.Call(ctx, "Toggle", s); err != nil {
+		t.Fatal(err)
+	}
+	if s.Has(1) || !s.Has(99) || !s.Has(2) {
+		t.Fatalf("set state: %v", s.Members)
+	}
+	if _, err := stub.Call(ctx, "Toggle", s); err != nil {
+		t.Fatal(err)
+	}
+	if !s.Has(1) {
+		t.Fatal("second toggle must re-add 1")
+	}
+}
+
+func TestLocalAPI(t *testing.T) {
+	m := containers.NewMap[string, int]()
+	m.Put("k", 1)
+	if v, ok := m.Get("k"); !ok || v != 1 {
+		t.Fatal("map get")
+	}
+	count := 0
+	m.Put("j", 2)
+	m.Range(func(string, int) bool { count++; return count < 1 })
+	if count != 1 {
+		t.Fatal("range early exit")
+	}
+	var zero containers.Map[string, int]
+	zero.Put("x", 1) // Put on zero value must allocate
+	if zero.Len() != 1 {
+		t.Fatal("zero-value map")
+	}
+
+	l := containers.NewList(1, 2, 3)
+	l.Remove(1)
+	if l.Len() != 2 || l.At(1) != 3 {
+		t.Fatalf("list remove: %v", l.Items)
+	}
+	seen := 0
+	l.Range(func(i, v int) bool { seen++; return false })
+	if seen != 1 {
+		t.Fatal("list range early exit")
+	}
+
+	var zs containers.Set[string]
+	zs.Add("a") // Add on zero value must allocate
+	zs.Remove("missing")
+	if !zs.Has("a") || zs.Len() != 1 {
+		t.Fatal("zero-value set")
+	}
+}
+
+func TestQuickMapRemoteEqualsLocal(t *testing.T) {
+	f := newFixture(t)
+	stub := f.client.Stub(f.addr, "containers")
+	check := func(seed int64, opsRaw []MapOp) bool {
+		// Bound key space so deletes hit.
+		ops := make([]MapOp, 0, len(opsRaw))
+		for _, op := range opsRaw {
+			if len(op.Key) > 2 {
+				op.Key = op.Key[:2]
+			}
+			ops = append(ops, op)
+		}
+		local := containers.NewMap[string, int]()
+		remote := containers.NewMap[string, int]()
+		local.Put("seeded", int(seed%1000))
+		remote.Put("seeded", int(seed%1000))
+
+		applyMapOps(local, ops)
+		if _, err := stub.Call(context.Background(), "ApplyMapOps", remote, ops); err != nil {
+			t.Logf("call: %v", err)
+			return false
+		}
+		if local.Len() != remote.Len() {
+			return false
+		}
+		equal := true
+		local.Range(func(k string, v int) bool {
+			if rv, ok := remote.Get(k); !ok || rv != v {
+				equal = false
+				return false
+			}
+			return true
+		})
+		return equal
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func ExampleMap() {
+	m := containers.NewMap[string, int]()
+	m.Put("a", 1)
+	m.Put("b", 2)
+	v, ok := m.Get("a")
+	fmt.Println(v, ok, m.Len())
+	// Output: 1 true 2
+}
+
+func ExampleList() {
+	l := containers.NewList("x")
+	l.Append("y", "z")
+	l.Remove(0)
+	fmt.Println(l.Items)
+	// Output: [y z]
+}
+
+func ExampleSet() {
+	s := containers.NewSet(1, 2)
+	s.Add(3)
+	s.Remove(2)
+	fmt.Println(s.Has(1), s.Has(2), s.Len())
+	// Output: true false 2
+}

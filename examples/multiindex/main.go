@@ -1,0 +1,193 @@
+// Multiindex reproduces the paper's business example (Section 4.3):
+// customers and transactions indexed several ways at once — recent
+// transactions as a list, each transaction reachable from its customer's
+// record, customers indexed both by zip code and by name. All of these are
+// aliases to the same objects. A remote purchase-recording service mutates
+// the records; because the whole store is passed by copy-restore, every
+// index stays consistent, "in much the same way as they would be updated
+// if the call were local".
+//
+// Run with: go run ./examples/multiindex
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"net"
+	"sort"
+
+	"nrmi"
+)
+
+// Transaction is one purchase record.
+type Transaction struct {
+	ID       int
+	Amount   int // cents
+	Customer *Customer
+}
+
+// Customer is a client record, pointing back at its transactions.
+type Customer struct {
+	Name         string
+	Zip          string
+	Balance      int
+	Transactions []*Transaction
+}
+
+// Store is the root object: one heap, many indexes over it.
+type Store struct {
+	ByZip  map[string][]*Customer
+	ByName map[string]*Customer
+	Recent []*Transaction // most recent first
+	NextID int
+}
+
+// NRMIRestorable passes the whole store (and everything reachable) by
+// copy-restore.
+func (*Store) NRMIRestorable() {}
+
+// Ledger is the remote service maintaining the store.
+type Ledger struct{}
+
+// RecordPurchase appends a transaction for the named customer, updating
+// the customer's balance, the customer's transaction list, and the
+// recent-transactions index — three aliased views of the same new object.
+func (l *Ledger) RecordPurchase(s *Store, name string, amount int) (int, error) {
+	c, ok := s.ByName[name]
+	if !ok {
+		return 0, fmt.Errorf("no such customer %q", name)
+	}
+	s.NextID++
+	t := &Transaction{ID: s.NextID, Amount: amount, Customer: c}
+	c.Balance += amount
+	c.Transactions = append(c.Transactions, t)
+	s.Recent = append([]*Transaction{t}, s.Recent...)
+	if len(s.Recent) > 5 {
+		s.Recent = s.Recent[:5]
+	}
+	return t.ID, nil
+}
+
+// MoveCustomer relocates a customer to a new zip code, updating the
+// zip index in place.
+func (l *Ledger) MoveCustomer(s *Store, name, newZip string) error {
+	c, ok := s.ByName[name]
+	if !ok {
+		return fmt.Errorf("no such customer %q", name)
+	}
+	// Remove with copy-on-write: in a restorable graph, slices are
+	// fixed-length array objects (like Java arrays), so in-place removal
+	// via append(old[:i], old[i+1:]...) would create a partially
+	// overlapping view. Build the shorter index as a fresh slice instead.
+	old := s.ByZip[c.Zip]
+	kept := make([]*Customer, 0, len(old))
+	for _, cc := range old {
+		if cc != c {
+			kept = append(kept, cc)
+		}
+	}
+	if len(kept) == 0 {
+		delete(s.ByZip, c.Zip)
+	} else {
+		s.ByZip[c.Zip] = kept
+	}
+	c.Zip = newZip
+	s.ByZip[newZip] = append(s.ByZip[newZip], c)
+	return nil
+}
+
+func newStore() *Store {
+	ada := &Customer{Name: "Ada", Zip: "30332"}
+	bob := &Customer{Name: "Bob", Zip: "30332"}
+	cyd := &Customer{Name: "Cyd", Zip: "10001"}
+	return &Store{
+		ByZip:  map[string][]*Customer{"30332": {ada, bob}, "10001": {cyd}},
+		ByName: map[string]*Customer{"Ada": ada, "Bob": bob, "Cyd": cyd},
+	}
+}
+
+func dump(s *Store) {
+	var zips []string
+	for z := range s.ByZip {
+		zips = append(zips, z)
+	}
+	sort.Strings(zips)
+	for _, z := range zips {
+		fmt.Printf("  zip %s:", z)
+		for _, c := range s.ByZip[z] {
+			fmt.Printf(" %s(balance=%d,txs=%d)", c.Name, c.Balance, len(c.Transactions))
+		}
+		fmt.Println()
+	}
+	fmt.Print("  recent:")
+	for _, t := range s.Recent {
+		fmt.Printf(" #%d:%s:%d", t.ID, t.Customer.Name, t.Amount)
+	}
+	fmt.Println()
+}
+
+func main() {
+	for name, sample := range map[string]any{
+		"shop.Store":       Store{},
+		"shop.Customer":    Customer{},
+		"shop.Transaction": Transaction{},
+	} {
+		if err := nrmi.Register(name, sample); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv, err := nrmi.NewServer(ln.Addr().String(), nrmi.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := srv.Export("ledger", &Ledger{}); err != nil {
+		log.Fatal(err)
+	}
+	srv.Serve(ln)
+	defer srv.Close()
+
+	client, err := nrmi.NewClient(nrmi.TCPDialer(), nrmi.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer client.Close()
+	stub := client.Stub(ln.Addr().String(), "ledger")
+	ctx := context.Background()
+
+	store := newStore()
+	// The client keeps its own direct aliases, independent of the indexes.
+	ada := store.ByName["Ada"]
+
+	fmt.Println("initial store:")
+	dump(store)
+
+	for _, p := range []struct {
+		name   string
+		amount int
+	}{{"Ada", 1250}, {"Bob", 300}, {"Ada", 4999}} {
+		rets, err := stub.Call(ctx, "RecordPurchase", store, p.name, p.amount)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\nrecorded purchase #%d for %s (%d cents), store now:\n", rets[0].(int), p.name, p.amount)
+		dump(store)
+	}
+
+	if _, err := stub.Call(ctx, "MoveCustomer", store, "Ada", "94043"); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nafter moving Ada to 94043:")
+	dump(store)
+
+	// The direct alias observed every remote mutation.
+	fmt.Printf("\nclient's direct alias: %s zip=%s balance=%d transactions=%d\n",
+		ada.Name, ada.Zip, ada.Balance, len(ada.Transactions))
+	// And identity is preserved: the alias IS the indexed object.
+	fmt.Printf("alias identity preserved across calls: %v\n", ada == store.ByName["Ada"])
+}

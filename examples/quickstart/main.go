@@ -1,0 +1,95 @@
+// Quickstart: the smallest complete NRMI program. A restorable linked list
+// is passed to a remote service that mutates it; after the call every
+// client-side reference — including an alias into the middle of the list —
+// observes the changes, with zero client-side restore code.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"net"
+
+	"nrmi"
+)
+
+// Node is a singly linked list cell. The marker method opts the whole
+// reachable structure into call-by-copy-restore.
+type Node struct {
+	Value int
+	Next  *Node
+}
+
+// NRMIRestorable marks Node for copy-restore.
+func (*Node) NRMIRestorable() {}
+
+// ListService is the remote service.
+type ListService struct{}
+
+// DoubleAll doubles every value in place and appends a sentinel node —
+// exactly the kind of mutation that is invisible under plain call-by-copy.
+func (s *ListService) DoubleAll(head *Node) int {
+	count := 0
+	last := head
+	for n := head; n != nil; n = n.Next {
+		n.Value *= 2
+		count++
+		last = n
+	}
+	last.Next = &Node{Value: -1} // server-allocated node appears on the client
+	return count
+}
+
+func main() {
+	// Shared type registry: both endpoints must agree on wire names.
+	if err := nrmi.Register("quickstart.Node", Node{}); err != nil {
+		log.Fatal(err)
+	}
+
+	// --- Server ---
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv, err := nrmi.NewServer(ln.Addr().String(), nrmi.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := srv.Export("list", &ListService{}); err != nil {
+		log.Fatal(err)
+	}
+	srv.Serve(ln)
+	defer srv.Close()
+
+	// --- Client ---
+	client, err := nrmi.NewClient(nrmi.TCPDialer(), nrmi.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer client.Close()
+
+	head := &Node{Value: 1, Next: &Node{Value: 2, Next: &Node{Value: 3}}}
+	middle := head.Next // an alias into the middle of the list
+
+	fmt.Print("before: ")
+	printList(head)
+
+	rets, err := client.Stub(ln.Addr().String(), "list").Call(context.Background(), "DoubleAll", head)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Print("after:  ")
+	printList(head)
+	fmt.Printf("server visited %d nodes\n", rets[0].(int))
+	fmt.Printf("alias into the middle sees the doubled value too: %d\n", middle.Value)
+}
+
+func printList(head *Node) {
+	for n := head; n != nil; n = n.Next {
+		fmt.Printf("%d ", n.Value)
+	}
+	fmt.Println()
+}

@@ -1,0 +1,163 @@
+// Translator reproduces the paper's Swing example (Section 4.3): a GUI
+// whose menus, labels and toolbar all alias one vector of words. Choosing
+// a language calls a remote translation server that rewrites the vector in
+// place; every widget shows the translation with no client-side update
+// code. "The distributed version code only has two tiny changes compared
+// to local code": the marker method and the remote lookup.
+//
+// Run with: go run ./examples/translator
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"net"
+	"strings"
+
+	"nrmi"
+)
+
+// WordVector holds every user-visible string of the interface. It is the
+// single model object all widgets alias.
+type WordVector struct {
+	Words []string
+}
+
+// NRMIRestorable is change #1 of the paper's two: the model becomes
+// restorable.
+func (*WordVector) NRMIRestorable() {}
+
+// dictionary is the server's translation table.
+var dictionary = map[string]map[string]string{
+	"de": {
+		"File": "Datei", "Edit": "Bearbeiten", "View": "Ansicht",
+		"Open": "Öffnen", "Save": "Speichern", "Close": "Schließen",
+		"Language": "Sprache", "Ready": "Bereit",
+	},
+	"fr": {
+		"File": "Fichier", "Edit": "Édition", "View": "Affichage",
+		"Open": "Ouvrir", "Save": "Enregistrer", "Close": "Fermer",
+		"Language": "Langue", "Ready": "Prêt",
+	},
+}
+
+// reverse maps any known translation back to English.
+var reverse = func() map[string]string {
+	m := make(map[string]string)
+	for _, d := range dictionary {
+		for en, tr := range d {
+			m[tr] = en
+		}
+	}
+	return m
+}()
+
+// TranslationServer is the remote service: it accepts the word vector and
+// rewrites it to the requested language.
+type TranslationServer struct{}
+
+// Translate rewrites every word in place. Unknown words pass through.
+func (t *TranslationServer) Translate(v *WordVector, lang string) (int, error) {
+	if lang != "en" {
+		if _, ok := dictionary[lang]; !ok {
+			return 0, fmt.Errorf("unsupported language %q", lang)
+		}
+	}
+	translated := 0
+	for i, w := range v.Words {
+		en, ok := reverse[w]
+		if !ok {
+			en = w // already English or unknown
+		}
+		out := en
+		if lang != "en" {
+			if tr, ok := dictionary[lang][en]; ok {
+				out = tr
+			}
+		}
+		if out != v.Words[i] {
+			translated++
+		}
+		v.Words[i] = out
+	}
+	return translated, nil
+}
+
+// gui models the aliasing topology of a Swing interface: several widgets,
+// each holding references INTO the same word vector.
+type gui struct {
+	model   *WordVector
+	menuBar []string // rendered from model.Words[0:3]
+	toolbar []string // rendered from model.Words[3:6]
+	status  string
+}
+
+func newGUI() *gui {
+	return &gui{
+		model: &WordVector{Words: []string{
+			"File", "Edit", "View", // menu bar
+			"Open", "Save", "Close", // toolbar
+			"Language", "Ready", // dropdown label, status bar
+		}},
+	}
+}
+
+// render repaints every widget from the (shared) model.
+func (g *gui) render() string {
+	w := g.model.Words
+	g.menuBar = w[0:3]
+	g.toolbar = w[3:6]
+	g.status = w[7]
+	var b strings.Builder
+	fmt.Fprintf(&b, "  menu:    [ %s ]\n", strings.Join(g.menuBar, " | "))
+	fmt.Fprintf(&b, "  toolbar: ( %s )\n", strings.Join(g.toolbar, " ) ( "))
+	fmt.Fprintf(&b, "  %s: [en|de|fr]    status: %s\n", w[6], g.status)
+	return b.String()
+}
+
+func main() {
+	if err := nrmi.Register("i18n.WordVector", WordVector{}); err != nil {
+		log.Fatal(err)
+	}
+
+	// Remote translation server.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv, err := nrmi.NewServer(ln.Addr().String(), nrmi.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := srv.Export("translator", &TranslationServer{}); err != nil {
+		log.Fatal(err)
+	}
+	srv.Serve(ln)
+	defer srv.Close()
+
+	// The "GUI" process.
+	client, err := nrmi.NewClient(nrmi.TCPDialer(), nrmi.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer client.Close()
+	// Change #2 of the paper's two: look the service up remotely.
+	stub := client.Stub(ln.Addr().String(), "translator")
+
+	g := newGUI()
+	fmt.Println("initial interface:")
+	fmt.Print(g.render())
+
+	for _, lang := range []string{"de", "fr", "en"} {
+		// The user picks a language from the drop-down: one remote call,
+		// the model is restored in place, every aliasing widget repaints
+		// with the new words.
+		rets, err := stub.Call(context.Background(), "Translate", g.model, lang)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\nafter selecting %q (%d words translated remotely):\n", lang, rets[0].(int))
+		fmt.Print(g.render())
+	}
+}

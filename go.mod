@@ -1,0 +1,3 @@
+module nrmi
+
+go 1.24

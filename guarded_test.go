@@ -1,0 +1,69 @@
+package nrmi_test
+
+import (
+	"context"
+	"net"
+	"sync"
+	"testing"
+
+	"nrmi"
+)
+
+func TestGuardedExcludesLocalAndRemoteMutators(t *testing.T) {
+	reg := nrmi.NewRegistry()
+	if err := reg.Register("Vector", Vector{}); err != nil {
+		t.Fatal(err)
+	}
+	opts := nrmi.Options{Registry: reg}
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := nrmi.NewServer(ln.Addr().String(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Export("upcaser", &Upcaser{}); err != nil {
+		t.Fatal(err)
+	}
+	srv.Serve(ln)
+	defer srv.Close()
+	cl, err := nrmi.NewClient(nrmi.TCPDialer(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	stub := cl.Stub(ln.Addr().String(), "upcaser")
+
+	g := nrmi.NewGuarded(&Vector{Words: []string{"a", "b", "c"}})
+	var wg sync.WaitGroup
+	// Local writers and remote mutators race; Guarded serializes them, so
+	// -race stays quiet and the data stays structurally sound.
+	for i := 0; i < 4; i++ {
+		wg.Add(2)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 10; j++ {
+				g.With(func(v *Vector) {
+					v.Words[0] = "local"
+				})
+			}
+		}()
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 5; j++ {
+				if _, err := g.Call(context.Background(), stub, "Upcase"); err != nil {
+					t.Errorf("remote: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	g.With(func(v *Vector) {
+		if len(v.Words) != 3 {
+			t.Fatalf("structure corrupted: %v", v.Words)
+		}
+	})
+}

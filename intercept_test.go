@@ -1,0 +1,84 @@
+package nrmi_test
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"log"
+	"strings"
+	"testing"
+
+	"nrmi"
+)
+
+func TestLoggingInterceptor(t *testing.T) {
+	var buf bytes.Buffer
+	logger := log.New(&buf, "", 0)
+
+	reg := nrmi.NewRegistry()
+	if err := reg.Register("Vector", Vector{}); err != nil {
+		t.Fatal(err)
+	}
+	opts := nrmi.Options{Registry: reg, Intercept: nrmi.LoggingInterceptor(logger)}
+	addr := newTCPServer(t, nrmi.Options{Registry: reg})
+
+	cl, err := nrmi.NewClient(nrmi.TCPDialer(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	ctx := context.Background()
+	if _, err := cl.Stub(addr, "upcaser").Call(ctx, "Upcase", &Vector{Words: []string{"x"}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.Stub(addr, "upcaser").Call(ctx, "NoSuchMethod"); err == nil {
+		t.Fatal("expected failure")
+	}
+	logged := buf.String()
+	if !strings.Contains(logged, "upcaser.Upcase (1 args) ok in") {
+		t.Fatalf("success line missing:\n%s", logged)
+	}
+	if !strings.Contains(logged, "upcaser.NoSuchMethod (0 args) failed after") {
+		t.Fatalf("failure line missing:\n%s", logged)
+	}
+}
+
+func TestChainInterceptors(t *testing.T) {
+	var order []string
+	mk := func(name string, veto bool) nrmi.Interceptor {
+		return func(ctx context.Context, info nrmi.CallInfo, next func(context.Context) error) error {
+			order = append(order, name+">")
+			if veto {
+				return errors.New(name + " vetoed")
+			}
+			err := next(ctx)
+			order = append(order, "<"+name)
+			return err
+		}
+	}
+	chain := nrmi.ChainInterceptors(mk("a", false), mk("b", false))
+	err := chain(context.Background(), nrmi.CallInfo{}, func(context.Context) error {
+		order = append(order, "call")
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := "a>,b>,call,<b,<a"
+	if got := strings.Join(order, ","); got != want {
+		t.Fatalf("order = %s, want %s", got, want)
+	}
+
+	order = nil
+	chain = nrmi.ChainInterceptors(mk("a", false), mk("b", true), mk("c", false))
+	err = chain(context.Background(), nrmi.CallInfo{}, func(context.Context) error {
+		order = append(order, "call")
+		return nil
+	})
+	if err == nil || !strings.Contains(err.Error(), "b vetoed") {
+		t.Fatalf("veto lost: %v", err)
+	}
+	if strings.Contains(strings.Join(order, ","), "call") {
+		t.Fatal("vetoed chain must not reach the call")
+	}
+}

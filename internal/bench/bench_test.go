@@ -1,0 +1,407 @@
+package bench
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"nrmi/internal/graph"
+	"nrmi/internal/netsim"
+	"nrmi/internal/wire"
+)
+
+func TestBuildTreeDeterministic(t *testing.T) {
+	a := BuildTree(42, 100)
+	b := BuildTree(42, 100)
+	eq, err := graph.Equal(graph.AccessExported, a, b)
+	if err != nil || !eq {
+		t.Fatalf("same seed must build identical trees: %v %v", eq, err)
+	}
+	c := BuildTree(43, 100)
+	eq, _ = graph.Equal(graph.AccessExported, a, c)
+	if eq {
+		t.Fatal("different seeds should differ")
+	}
+	if n := len(CollectNodes(a)); n != 100 {
+		t.Fatalf("size = %d, want 100", n)
+	}
+	if BuildTree(1, 0) != nil {
+		t.Fatal("size 0 must be nil")
+	}
+}
+
+func TestTreeConversionsPreserveAliasing(t *testing.T) {
+	// Build a graph with an internal alias.
+	root := BuildTree(7, 20)
+	nodes := CollectNodes(root)
+	nodes[3].Right = nodes[10] // alias
+	rt := ToRTree(root)
+	back := FromRTree(rt)
+	eq, err := graph.Equal(graph.AccessExported, root, back)
+	if err != nil || !eq {
+		t.Fatalf("round trip through RTree lost structure: %v %v", eq, err)
+	}
+}
+
+func TestScriptApplyEquivalence(t *testing.T) {
+	f := func(seed int64, szRaw, opsRaw uint8) bool {
+		size := int(szRaw%60) + 2
+		ops := int(opsRaw%20) + 1
+		script := GenScript(seed, size, ops, false)
+		a := BuildTree(seed, size)
+		b := ToRTree(BuildTree(seed, size))
+		script.Apply(a)
+		script.ApplyR(b)
+		eq, err := graph.Equal(graph.AccessExported, a, FromRTree(b))
+		return err == nil && eq
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestScenarioProperties(t *testing.T) {
+	wI, scriptI := NewWorld(ScenarioI, 5, 64)
+	if len(wI.Aliases) != 0 {
+		t.Fatal("scenario I must have no aliases")
+	}
+	_ = scriptI
+
+	wII, scriptII := NewWorld(ScenarioII, 5, 64)
+	if len(wII.Aliases) == 0 {
+		t.Fatal("scenario II must have aliases")
+	}
+	if !scriptII.StructurePreserving() {
+		t.Fatal("scenario II script must be data-only")
+	}
+
+	wIII, scriptIII := NewWorld(ScenarioIII, 5, 256)
+	if len(wIII.Aliases) == 0 {
+		t.Fatal("scenario III must have aliases")
+	}
+	if scriptIII.StructurePreserving() {
+		t.Fatal("scenario III script should include structural ops")
+	}
+	if ScenarioI.String() != "I" || ScenarioII.String() != "II" || ScenarioIII.String() != "III" {
+		t.Fatal("scenario names")
+	}
+}
+
+func TestWorldConversionMapsAliases(t *testing.T) {
+	w, _ := NewWorld(ScenarioIII, 11, 32)
+	rw := ToRWorld(w)
+	if len(rw.Aliases) != len(w.Aliases) {
+		t.Fatal("alias count mismatch")
+	}
+	// Mutate through the RWorld alias; converting back must show it.
+	rw.Aliases[0].Data = 123456
+	back := rw.ToWorld()
+	if back.Aliases[0].Data != 123456 {
+		t.Fatal("alias correspondence broken")
+	}
+	if err := Verify(back, back); err != nil {
+		t.Fatalf("self-verify: %v", err)
+	}
+}
+
+// inProcessManual runs a manual strategy without a network: the "server
+// copy" is a clone, exactly what RMI serialization would produce.
+func inProcessManual(t *testing.T, sc Scenario, seed int64, size int) {
+	t.Helper()
+	w, script := NewWorld(sc, seed, size)
+	svc := &CopyService{}
+	serverCopy := CloneTree(w.Root)
+	switch sc {
+	case ScenarioI:
+		r := svc.MutateReturnI(serverCopy, script)
+		w.Root = r.Tree
+	case ScenarioII:
+		r := svc.MutateReturnII(serverCopy, script)
+		RestoreII(w, r.Tree)
+	case ScenarioIII:
+		r := svc.MutateReturnIII(serverCopy, script)
+		RestoreIII(w, r.Tree, r.Shadow)
+	}
+	if err := Verify(w, Expected(sc, seed, size, script)); err != nil {
+		t.Fatalf("scenario %s seed %d size %d: %v", sc, seed, size, err)
+	}
+}
+
+func TestManualStrategiesMatchLocalExecution(t *testing.T) {
+	for _, sc := range Scenarios {
+		for seed := int64(0); seed < 20; seed++ {
+			inProcessManual(t, sc, seed, 40)
+		}
+	}
+}
+
+func TestShadowSnapshotsOriginalStructure(t *testing.T) {
+	root := BuildTree(3, 16)
+	orig := CollectNodes(root)
+	sh := BuildShadow(root)
+	// Mutate after the snapshot.
+	script := GenScript(3, 16, 10, false)
+	script.Apply(root)
+	// The shadow still mirrors the pre-mutation structure and points at
+	// the (now mutated) node objects.
+	origSet := make(map[*Tree]bool, len(orig))
+	for _, n := range orig {
+		origSet[n] = true
+	}
+	var count int
+	seen := make(map[*Shadow]bool)
+	var walk func(s *Shadow)
+	walk = func(s *Shadow) {
+		if s == nil || seen[s] {
+			return
+		}
+		seen[s] = true
+		count++
+		if !origSet[s.Ref] {
+			t.Fatal("shadow must reference the original node objects")
+		}
+		walk(s.Left)
+		walk(s.Right)
+	}
+	walk(sh)
+	if sh.Ref != orig[0] {
+		t.Fatal("shadow root must reference the original root")
+	}
+	if count != len(orig) {
+		t.Fatalf("shadow has %d nodes, original had %d", count, len(orig))
+	}
+}
+
+func TestRefNodeLocalOps(t *testing.T) {
+	n := &RefNode{Data: 1}
+	c := &RefNode{Data: 2}
+	if err := n.SetLeft(c); err != nil {
+		t.Fatal(err)
+	}
+	got, err := n.GetLeft()
+	if err != nil || got.(*RefNode) != c {
+		t.Fatal("local handle ops broken")
+	}
+	if err := n.SetData(9); err != nil {
+		t.Fatal(err)
+	}
+	if d, _ := n.GetData(); d != 9 {
+		t.Fatal("data op broken")
+	}
+	r, err := n.GetRight()
+	if err != nil || r != nil {
+		t.Fatal("empty right must be nil")
+	}
+}
+
+func TestApplyHandlesLocallyMatchesScript(t *testing.T) {
+	f := func(seed int64, szRaw, opsRaw uint8) bool {
+		size := int(szRaw%40) + 2
+		ops := int(opsRaw%12) + 1
+		script := GenScript(seed, size, ops, false)
+
+		plain := BuildTree(seed, size)
+		script.Apply(plain)
+
+		refRoot, _ := BuildRefTree(BuildTree(seed, size))
+		if err := ApplyHandles(refRoot, script); err != nil {
+			return false
+		}
+		snap, err := SnapshotHandles(refRoot)
+		if err != nil {
+			return false
+		}
+		eq, err := graph.Equal(graph.AccessExported, plain, snap)
+		return err == nil && eq
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func newTestEnv(t *testing.T, cfg EnvConfig) *Env {
+	t.Helper()
+	e, err := NewEnv(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { e.Close() })
+	return e
+}
+
+func TestRunOneWayAndManualAndNRMI(t *testing.T) {
+	for _, eng := range []wire.Engine{wire.EngineV1, wire.EngineV2} {
+		e := newTestEnv(t, EnvConfig{Profile: netsim.Loopback(), Engine: eng})
+		for _, sc := range Scenarios {
+			spec := RunSpec{Scenario: sc, Size: 24, Iterations: 2, Seed: 77, Verify: true}
+			if _, err := RunOneWay(e, spec); err != nil {
+				t.Fatalf("%s one-way %s: %v", eng, sc, err)
+			}
+			cell, err := RunManual(e, spec)
+			if err != nil {
+				t.Fatalf("%s manual %s: %v", eng, sc, err)
+			}
+			if !cell.OK || cell.Bytes == 0 || cell.Messages != 2 {
+				t.Fatalf("%s manual %s: bad cell %+v", eng, sc, cell)
+			}
+			cell, err = RunNRMI(e, spec)
+			if err != nil {
+				t.Fatalf("%s nrmi %s: %v", eng, sc, err)
+			}
+			if !cell.OK || cell.Messages != 2 {
+				t.Fatalf("%s nrmi %s: bad cell %+v", eng, sc, cell)
+			}
+		}
+	}
+}
+
+func TestRunNRMIDelta(t *testing.T) {
+	e := newTestEnv(t, EnvConfig{Profile: netsim.Loopback(), Engine: wire.EngineV2, Delta: true})
+	for _, sc := range Scenarios {
+		spec := RunSpec{Scenario: sc, Size: 24, Iterations: 1, Seed: 5, Verify: true}
+		if _, err := RunNRMI(e, spec); err != nil {
+			t.Fatalf("delta nrmi %s: %v", sc, err)
+		}
+	}
+}
+
+func TestRunCBRefVerifies(t *testing.T) {
+	e := newTestEnv(t, EnvConfig{Profile: netsim.Loopback(), Engine: wire.EngineV2})
+	for _, sc := range Scenarios {
+		spec := RunSpec{Scenario: sc, Size: 12, Iterations: 1, Seed: 9, Verify: true}
+		cell, err := RunCBRef(e, spec, 30*time.Second)
+		if err != nil {
+			t.Fatalf("cbref %s: %v", sc, err)
+		}
+		if !cell.OK {
+			t.Fatalf("cbref %s blew budget unexpectedly: %+v", sc, cell)
+		}
+		// Remote pointers must cost far more messages than the 2 a
+		// request/response call needs.
+		if cell.Messages < 20 {
+			t.Fatalf("cbref %s: suspiciously few messages (%f)", sc, cell.Messages)
+		}
+	}
+}
+
+func TestRunCBRefBudgetYieldsDash(t *testing.T) {
+	e := newTestEnv(t, EnvConfig{
+		Profile: netsim.Profile{Latency: 5 * time.Millisecond},
+		Engine:  wire.EngineV2,
+	})
+	spec := RunSpec{Scenario: ScenarioIII, Size: 64, Iterations: 1, Seed: 1}
+	cell, err := RunCBRef(e, spec, 50*time.Millisecond)
+	if err != nil {
+		t.Fatalf("budget blowout must not be an error: %v", err)
+	}
+	if cell.OK {
+		t.Fatal("cell must be marked '-' on budget blowout")
+	}
+	if cell.String() != "-" {
+		t.Fatalf("dash rendering: %q", cell.String())
+	}
+}
+
+func TestCBRefLeaksRefs(t *testing.T) {
+	// The paper: "the memory consumption of the benchmarks grew
+	// uncontrollably" under call-by-reference. Our observable: exported
+	// references pile up on the client server and are never collected.
+	e := newTestEnv(t, EnvConfig{Profile: netsim.Loopback(), Engine: wire.EngineV2})
+	spec := RunSpec{Scenario: ScenarioIII, Size: 16, Iterations: 1, Seed: 2}
+	if _, err := RunCBRef(e, spec, 30*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if e.ClientSrv.LiveRefs() == 0 {
+		t.Fatal("remote-pointer run must leave live exports behind")
+	}
+}
+
+func TestRunLocal(t *testing.T) {
+	spec := RunSpec{Scenario: ScenarioIII, Size: 256, Iterations: 10, Seed: 4}
+	fast, err := RunLocal(spec, 1.0)
+	if err != nil || !fast.OK {
+		t.Fatalf("local: %+v %v", fast, err)
+	}
+	if fast.Millis <= 0 {
+		t.Fatal("local execution must measure above zero")
+	}
+	// Use a factor large enough that scheduler noise cannot flip the
+	// comparison between the two independent measurements.
+	slow, err := RunLocal(spec, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if slow.Millis <= fast.Millis {
+		t.Fatalf("50x host must be slower: fast=%.4f slow=%.4f", fast.Millis, slow.Millis)
+	}
+}
+
+func TestCellString(t *testing.T) {
+	if (Cell{OK: true, Millis: 0.4}).String() != "<1" {
+		t.Fatal("<1 rendering")
+	}
+	if (Cell{OK: true, Millis: 12.4}).String() != "12" {
+		t.Fatal("rounding")
+	}
+	if (Cell{}).String() != "-" {
+		t.Fatal("dash")
+	}
+}
+
+func TestEnvConfigString(t *testing.T) {
+	s := EnvConfig{Engine: wire.EngineV1}.String()
+	if !strings.Contains(s, "v1") {
+		t.Fatalf("config string: %q", s)
+	}
+	s = EnvConfig{Engine: wire.EngineV2, DisablePlanCache: true}.String()
+	if !strings.Contains(s, "portable") {
+		t.Fatalf("config string: %q", s)
+	}
+}
+
+func TestTreeStatsAndHelpers(t *testing.T) {
+	root := BuildTree(5, 10)
+	s := TreeStats(root)
+	if !strings.Contains(s, "10 nodes") {
+		t.Fatalf("TreeStats = %q", s)
+	}
+	if !containsStr("context deadline exceeded somewhere", "context deadline exceeded") {
+		t.Fatal("containsStr broken")
+	}
+	if containsStr("short", "longer-than-s") {
+		t.Fatal("containsStr false positive")
+	}
+	if isTimeoutText(nil) {
+		t.Fatal("nil error is not a timeout")
+	}
+	if !isTimeoutText(errors.New("remote: context deadline exceeded")) {
+		t.Fatal("remote deadline text must be recognized")
+	}
+}
+
+func TestWrapRefHook(t *testing.T) {
+	env := &RefEnv{}
+	h, err := env.WrapRefHook(nil, nil)
+	if err != nil || h != nil {
+		t.Fatalf("nil ref must wrap to nil: %v %v", h, err)
+	}
+}
+
+// TestCellDeterminism: identical seeds produce identical workloads and
+// therefore identical bytes on the wire (times vary; bytes must not).
+func TestCellDeterminism(t *testing.T) {
+	run := func() int64 {
+		e := newTestEnv(t, EnvConfig{Profile: netsim.Loopback(), Engine: wire.EngineV2})
+		cell, err := RunNRMI(e, RunSpec{Scenario: ScenarioIII, Size: 64, Iterations: 3, Seed: 99})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return cell.Bytes
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Fatalf("same seed, different bytes: %d vs %d", a, b)
+	}
+}

@@ -1,0 +1,183 @@
+package bench
+
+import (
+	"fmt"
+
+	"nrmi/internal/core"
+	"nrmi/internal/netsim"
+	"nrmi/internal/rmi"
+	"nrmi/internal/wire"
+)
+
+// Addresses of the two simulated machines.
+const (
+	// ServerAddr names the paper's fast machine running the services.
+	ServerAddr = "server"
+	// ClientAddr names the machine driving the benchmark.
+	ClientAddr = "client"
+)
+
+// EnvConfig selects one experimental configuration.
+type EnvConfig struct {
+	// Profile shapes the link between the two machines (loopback for the
+	// paper's same-machine baselines, LAN100Mbps for the testbed).
+	Profile netsim.Profile
+	// Engine selects the codec generation (the JDK 1.3 / 1.4 stand-ins).
+	Engine wire.Engine
+	// DisablePlanCache selects the "portable" NRMI implementation.
+	DisablePlanCache bool
+	// Delta enables the delta response encoding (the paper's future-work
+	// optimization).
+	Delta bool
+	// ShipLinearMap selects the naive explicit-map protocol that
+	// optimization 1 eliminates (ablation A1).
+	ShipLinearMap bool
+	// Compress enables transport frame compression on both endpoints.
+	Compress bool
+	// ServerHost and ClientHost model the two machines' CPU speeds.
+	ServerHost, ClientHost netsim.Host
+}
+
+// Env is a fully assembled two-machine benchmark world.
+type Env struct {
+	// Net is the shaped network joining the machines.
+	Net *netsim.Network
+	// Server is the service machine's endpoint.
+	Server *rmi.Server
+	// Client is the benchmark driver's client.
+	Client *rmi.Client
+	// ClientSrv is the driver machine's own server (callbacks and
+	// remote-pointer exports).
+	ClientSrv *rmi.Server
+	// ClientEnv and ServerEnv are the two remote-pointer environments.
+	ClientEnv, ServerEnv *RefEnv
+	// Registry is the shared wire registry.
+	Registry *wire.Registry
+
+	serverClient *rmi.Client
+}
+
+// NewEnv assembles servers, clients, services and reference environments
+// for one configuration.
+func NewEnv(cfg EnvConfig) (*Env, error) {
+	reg := wire.NewRegistry()
+	if err := RegisterTypes(reg); err != nil {
+		return nil, err
+	}
+	n := netsim.NewNetwork(cfg.Profile)
+
+	coreOpts := core.Options{
+		Engine:           cfg.Engine,
+		Registry:         reg,
+		Delta:            cfg.Delta,
+		DisablePlanCache: cfg.DisablePlanCache,
+		ShipLinearMap:    cfg.ShipLinearMap,
+	}
+	serverEnv := &RefEnv{}
+	clientEnv := &RefEnv{}
+
+	serverOpts := rmi.Options{
+		Core:     coreOpts,
+		Compress: cfg.Compress,
+		Host:     cfg.ServerHost,
+		WrapRef: func(ref *rmi.RemoteRef, _ *rmi.Client) (any, error) {
+			return serverEnv.Wrap(ref)
+		},
+	}
+	clientOpts := rmi.Options{
+		Core:     coreOpts,
+		Compress: cfg.Compress,
+		Host:     cfg.ClientHost,
+		WrapRef: func(ref *rmi.RemoteRef, _ *rmi.Client) (any, error) {
+			return clientEnv.Wrap(ref)
+		},
+	}
+
+	e := &Env{Net: n, Registry: reg, ClientEnv: clientEnv, ServerEnv: serverEnv}
+	fail := func(err error) (*Env, error) {
+		_ = n.Close()
+		return nil, err
+	}
+
+	srv, err := rmi.NewServer(ServerAddr, serverOpts)
+	if err != nil {
+		return fail(err)
+	}
+	e.Server = srv
+	for name, svc := range map[string]any{
+		"copy":   &CopyService{},
+		"nrmi":   &NRMIService{},
+		"macro":  &MacroService{},
+		"refmut": &RefMutator{Env: serverEnv},
+	} {
+		if err := srv.Export(name, svc); err != nil {
+			return fail(err)
+		}
+	}
+	ln, err := n.Listen(ServerAddr)
+	if err != nil {
+		return fail(err)
+	}
+	srv.Serve(ln)
+
+	clSrv, err := rmi.NewServer(ClientAddr, clientOpts)
+	if err != nil {
+		return fail(err)
+	}
+	e.ClientSrv = clSrv
+	cln, err := n.Listen(ClientAddr)
+	if err != nil {
+		return fail(err)
+	}
+	clSrv.Serve(cln)
+
+	client, err := rmi.NewClient(n.Dial, clientOpts)
+	if err != nil {
+		return fail(err)
+	}
+	client.BindLocalServer(clSrv)
+	e.Client = client
+	clientEnv.Client = client
+	clientEnv.Local = clSrv
+
+	serverClient, err := rmi.NewClient(n.Dial, serverOpts)
+	if err != nil {
+		return fail(err)
+	}
+	serverClient.BindLocalServer(srv)
+	e.serverClient = serverClient
+	srv.BindClient(serverClient)
+	serverEnv.Client = serverClient
+	serverEnv.Local = srv
+
+	return e, nil
+}
+
+// Close tears the environment down.
+func (e *Env) Close() error {
+	var first error
+	for _, c := range []interface{ Close() error }{e.Client, e.serverClient, e.Server, e.ClientSrv, e.Net} {
+		if c == nil {
+			continue
+		}
+		if err := c.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// Stats returns the cumulative network counters.
+func (e *Env) Stats() netsim.Stats { return e.Net.Stats() }
+
+// ResetStats zeroes the network counters.
+func (e *Env) ResetStats() { e.Net.ResetStats() }
+
+// String describes the configuration for table headers.
+func (c EnvConfig) String() string {
+	cache := "cached"
+	if c.DisablePlanCache {
+		cache = "portable"
+	}
+	return fmt.Sprintf("engine=%s %s", c.Engine, cache)
+}

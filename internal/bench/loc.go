@@ -1,0 +1,91 @@
+package bench
+
+import (
+	_ "embed"
+	"fmt"
+	"strings"
+)
+
+// The paper quantifies the usability gap (Section 5.3.2): about 45 lines
+// for widened return types, 16 more for the scenario-II/III updating
+// traversal, and 35 more for the shadow tree — versus two trivial changes
+// under NRMI. This file measures our own manual-restore code the same way,
+// by counting the marked regions of manual.go.
+
+//go:embed manual.go
+var manualSource string
+
+// LoCReport tallies the hand-written restore code per concern.
+type LoCReport struct {
+	// ReturnTypes counts the widened return types and their plumbing.
+	ReturnTypes int
+	// StrategyI counts the scenario-I server/client code.
+	StrategyI int
+	// StrategyII counts the scenario-II updating traversal.
+	StrategyII int
+	// StrategyIII counts the shadow-tree client and server code.
+	StrategyIII int
+}
+
+// Total sums all manual-restore lines.
+func (r LoCReport) Total() int {
+	return r.ReturnTypes + r.StrategyI + r.StrategyII + r.StrategyIII
+}
+
+// String renders the report next to the paper's numbers.
+func (r LoCReport) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Hand-written restore code under plain call-by-copy RMI (paper Section 5.3.2):\n")
+	fmt.Fprintf(&b, "  widened return types:            %3d lines (paper: ~45)\n", r.ReturnTypes)
+	fmt.Fprintf(&b, "  scenario I (return+reassign):    %3d lines\n", r.StrategyI)
+	fmt.Fprintf(&b, "  scenario II (update traversal):  %3d lines (paper: ~16 extra)\n", r.StrategyII)
+	fmt.Fprintf(&b, "  scenario III (shadow tree):      %3d lines (paper: ~35 extra)\n", r.StrategyIII)
+	fmt.Fprintf(&b, "  total:                           %3d lines\n", r.Total())
+	fmt.Fprintf(&b, "NRMI equivalent: 1 marker method on the type + the remote call itself.\n")
+	return b.String()
+}
+
+// CountManualLoC counts non-blank, non-comment lines inside the
+// BEGIN/END-marked regions of the manual-restore source.
+func CountManualLoC() (LoCReport, error) {
+	sections := map[string]*int{}
+	var r LoCReport
+	sections["MANUAL-RETURN-TYPES"] = &r.ReturnTypes
+	sections["MANUAL-I"] = &r.StrategyI
+	sections["MANUAL-II"] = &r.StrategyII
+	sections["MANUAL-III"] = &r.StrategyIII
+	sections["MANUAL-III-SERVER"] = &r.StrategyIII
+
+	var current *int
+	currentName := ""
+	for _, line := range strings.Split(manualSource, "\n") {
+		trimmed := strings.TrimSpace(line)
+		if idx := strings.Index(trimmed, "// BEGIN "); idx == 0 {
+			name := strings.TrimPrefix(trimmed, "// BEGIN ")
+			counter, ok := sections[name]
+			if !ok {
+				return LoCReport{}, fmt.Errorf("bench: unknown LoC section %q", name)
+			}
+			if current != nil {
+				return LoCReport{}, fmt.Errorf("bench: nested LoC section %q inside %q", name, currentName)
+			}
+			current, currentName = counter, name
+			continue
+		}
+		if strings.HasPrefix(trimmed, "// END ") {
+			if current == nil {
+				return LoCReport{}, fmt.Errorf("bench: END without BEGIN")
+			}
+			current = nil
+			continue
+		}
+		if current == nil || trimmed == "" || strings.HasPrefix(trimmed, "//") {
+			continue
+		}
+		*current++
+	}
+	if current != nil {
+		return LoCReport{}, fmt.Errorf("bench: unterminated LoC section %q", currentName)
+	}
+	return r, nil
+}

@@ -1,0 +1,180 @@
+package bench
+
+import (
+	"fmt"
+
+	"nrmi/internal/graph"
+)
+
+// Scenario is one of the paper's three benchmark configurations (Section
+// 5.3.2), "listed in the order of difficulty of achieving the
+// call-by-copy-restore semantics by hand".
+type Scenario int
+
+const (
+	// ScenarioI has no client-side aliases into the tree; data and
+	// structure may change. Manual restore: return the tree, reassign the
+	// root reference.
+	ScenarioI Scenario = iota
+	// ScenarioII has aliases, but the remote method only changes node
+	// data, never structure. Manual restore: simultaneous isomorphic
+	// traversal re-pointing aliases, then root reassignment.
+	ScenarioII
+	// ScenarioIII has aliases and arbitrary changes, including unlinking
+	// aliased nodes. Manual restore requires the server to build and ship
+	// a shadow tree.
+	ScenarioIII
+)
+
+// String returns the scenario's roman numeral, as the paper's tables use.
+func (s Scenario) String() string {
+	switch s {
+	case ScenarioI:
+		return "I"
+	case ScenarioII:
+		return "II"
+	case ScenarioIII:
+		return "III"
+	default:
+		return fmt.Sprintf("Scenario(%d)", int(s))
+	}
+}
+
+// Scenarios lists all three in table order.
+var Scenarios = []Scenario{ScenarioI, ScenarioII, ScenarioIII}
+
+// World is one benchmark instance: the client's tree plus its aliases, the
+// structure against which the restore invariant is checked.
+type World struct {
+	// Root is the tree passed to the remote method.
+	Root *Tree
+	// Aliases are client-side references to interior nodes (empty for
+	// scenario I). AliasIdx records each alias's position in the initial
+	// DFS preorder, which the manual scenario-II/III strategies need.
+	Aliases  []*Tree
+	AliasIdx []int
+}
+
+// opsPerCall is how many mutations one remote call performs; scaled mildly
+// with tree size so bigger trees see proportionally more of their nodes
+// touched.
+func opsPerCall(size int) int { return 8 + size/16 }
+
+// aliasCount is how many interior aliases scenarios II and III hold.
+func aliasCount(size int) int {
+	n := size / 8
+	if n < 2 {
+		n = 2
+	}
+	return n
+}
+
+// NewWorld builds a benchmark world for the scenario: tree, aliases, and
+// the mutation script the remote method will execute.
+func NewWorld(sc Scenario, seed int64, size int) (*World, Script) {
+	root := BuildTree(seed, size)
+	w := &World{Root: root}
+	if sc != ScenarioI {
+		nodes := CollectNodes(root)
+		r := newRng(seed ^ 0xA11A5)
+		for i := 0; i < aliasCount(size); i++ {
+			idx := r.intn(len(nodes))
+			w.Aliases = append(w.Aliases, nodes[idx])
+			w.AliasIdx = append(w.AliasIdx, idx)
+		}
+	}
+	script := GenScript(seed, size, opsPerCall(size), sc == ScenarioII)
+	return w, script
+}
+
+// RWorld is World in the restorable representation used on the NRMI path.
+type RWorld struct {
+	// Root is the restorable tree.
+	Root *RTree
+	// Aliases mirror World.Aliases; AliasIdx their preorder positions.
+	Aliases  []*RTree
+	AliasIdx []int
+}
+
+// ToRWorld converts a world into its restorable twin, with aliases mapped
+// to the corresponding converted nodes.
+func ToRWorld(w *World) *RWorld {
+	memo := make(map[*Tree]*RTree)
+	var conv func(*Tree) *RTree
+	conv = func(n *Tree) *RTree {
+		if n == nil {
+			return nil
+		}
+		if m, ok := memo[n]; ok {
+			return m
+		}
+		m := &RTree{Data: n.Data}
+		memo[n] = m
+		m.Left = conv(n.Left)
+		m.Right = conv(n.Right)
+		return m
+	}
+	rw := &RWorld{Root: conv(w.Root), AliasIdx: append([]int(nil), w.AliasIdx...)}
+	for _, a := range w.Aliases {
+		rw.Aliases = append(rw.Aliases, memo[a])
+	}
+	return rw
+}
+
+// ToWorld converts a restorable world back to the plain representation for
+// invariant checking.
+func (rw *RWorld) ToWorld() *World {
+	memo := make(map[*RTree]*Tree)
+	var conv func(*RTree) *Tree
+	conv = func(n *RTree) *Tree {
+		if n == nil {
+			return nil
+		}
+		if m, ok := memo[n]; ok {
+			return m
+		}
+		m := &Tree{Data: n.Data}
+		memo[n] = m
+		m.Left = conv(n.Left)
+		m.Right = conv(n.Right)
+		return m
+	}
+	w := &World{Root: conv(rw.Root), AliasIdx: append([]int(nil), rw.AliasIdx...)}
+	for _, a := range rw.Aliases {
+		if a == nil {
+			w.Aliases = append(w.Aliases, nil)
+			continue
+		}
+		m, ok := memo[a]
+		if !ok {
+			// The alias target became unreachable from the root; convert
+			// its subgraph too so the comparison still sees it.
+			m = conv(a)
+		}
+		w.Aliases = append(w.Aliases, m)
+	}
+	return w
+}
+
+// Expected computes the ground-truth post-call world: the same initial
+// world with the script applied locally (the paper's invariant: "as if
+// both the caller and the callee were executing within the same address
+// space").
+func Expected(sc Scenario, seed int64, size int, script Script) *World {
+	w, _ := NewWorld(sc, seed, size)
+	script.Apply(w.Root)
+	return w
+}
+
+// Verify checks a post-call world against the ground truth, comparing the
+// full graph including alias targets.
+func Verify(got, want *World) error {
+	eq, err := graph.Equal(graph.AccessExported, got, want)
+	if err != nil {
+		return fmt.Errorf("bench: comparing worlds: %w", err)
+	}
+	if !eq {
+		return fmt.Errorf("bench: post-call world diverged from local execution")
+	}
+	return nil
+}

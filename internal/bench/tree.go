@@ -1,0 +1,205 @@
+// Package bench implements the paper's evaluation apparatus (Section 5.3):
+// randomly generated binary-tree workloads, the three benchmark scenarios,
+// replayable mutation scripts, the manual restore strategies a programmer
+// must write with plain call-by-copy RMI (return-value reassignment,
+// isomorphic simultaneous traversal, shadow tree), the remote-pointer tree
+// for call-by-reference, and the harness that regenerates Tables 1–6.
+package bench
+
+import (
+	"fmt"
+
+	"nrmi/internal/wire"
+)
+
+// Tree is the benchmark's plain serializable binary tree: passed by copy
+// under RMI semantics.
+type Tree struct {
+	// Data is the node payload.
+	Data int
+	// Left and Right are the children.
+	Left, Right *Tree
+}
+
+// RTree is the restorable variant: identical shape, passed by
+// copy-restore under NRMI semantics. Keeping two types mirrors the paper's
+// programming model, where semantics is chosen per type.
+type RTree struct {
+	// Data is the node payload.
+	Data int
+	// Left and Right are the children.
+	Left, Right *RTree
+}
+
+// NRMIRestorable marks RTree for call-by-copy-restore.
+func (*RTree) NRMIRestorable() {}
+
+// RegisterTypes installs the benchmark wire types on reg. Both endpoints
+// of every benchmark call it.
+func RegisterTypes(reg *wire.Registry) error {
+	for name, sample := range map[string]any{
+		"bench.Tree":      Tree{},
+		"bench.RTree":     RTree{},
+		"bench.Op":        Op{},
+		"bench.Shadow":    Shadow{},
+		"bench.ReturnI":   ReturnI{},
+		"bench.ReturnII":  ReturnII{},
+		"bench.ReturnIII": ReturnIII{},
+		"bench.Script":    Script{},
+		"bench.OpKind":    OpKind(0),
+	} {
+		if err := reg.Register(name, sample); err != nil {
+			return err
+		}
+	}
+	return registerMacroTypes(reg)
+}
+
+// rng is the benchmark's deterministic generator (splitmix-style), so
+// every table cell is reproducible from its seed.
+type rng struct{ state uint64 }
+
+func newRng(seed int64) *rng {
+	return &rng{state: uint64(seed)*0x9E3779B97F4A7C15 + 0xBF58476D1CE4E5B9}
+}
+
+func (r *rng) next() uint64 {
+	r.state += 0x9E3779B97F4A7C15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+func (r *rng) intn(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	return int(r.next() % uint64(n))
+}
+
+// BuildTree generates a random proper binary tree with size nodes,
+// mirroring the paper's "single randomly-generated binary tree parameter".
+// The same seed always yields the same shape and data.
+func BuildTree(seed int64, size int) *Tree {
+	if size <= 0 {
+		return nil
+	}
+	r := newRng(seed)
+	nodes := make([]*Tree, 1, size)
+	nodes[0] = &Tree{Data: r.intn(100000)}
+	// open tracks nodes with at least one free child slot.
+	open := []*Tree{nodes[0]}
+	for len(nodes) < size {
+		i := r.intn(len(open))
+		p := open[i]
+		n := &Tree{Data: r.intn(100000)}
+		if p.Left == nil {
+			p.Left = n
+		} else {
+			p.Right = n
+			// Both slots used: remove from the open set.
+			open[i] = open[len(open)-1]
+			open = open[:len(open)-1]
+		}
+		nodes = append(nodes, n)
+		open = append(open, n)
+	}
+	return nodes[0]
+}
+
+// CollectNodes returns the tree's nodes in DFS preorder (node, left,
+// right), visiting each object exactly once even in the presence of the
+// aliasing edges mutations can introduce. This ordering is the node
+// numbering mutation scripts refer to.
+func CollectNodes(root *Tree) []*Tree {
+	var out []*Tree
+	seen := make(map[*Tree]bool)
+	var visit func(*Tree)
+	visit = func(n *Tree) {
+		if n == nil || seen[n] {
+			return
+		}
+		seen[n] = true
+		out = append(out, n)
+		visit(n.Left)
+		visit(n.Right)
+	}
+	visit(root)
+	return out
+}
+
+// ToRTree converts a plain tree graph into its restorable twin, preserving
+// aliasing and cycles.
+func ToRTree(t *Tree) *RTree {
+	memo := make(map[*Tree]*RTree)
+	var conv func(*Tree) *RTree
+	conv = func(n *Tree) *RTree {
+		if n == nil {
+			return nil
+		}
+		if m, ok := memo[n]; ok {
+			return m
+		}
+		m := &RTree{Data: n.Data}
+		memo[n] = m
+		m.Left = conv(n.Left)
+		m.Right = conv(n.Right)
+		return m
+	}
+	return conv(t)
+}
+
+// FromRTree converts back to the plain representation, preserving aliasing
+// and cycles.
+func FromRTree(t *RTree) *Tree {
+	memo := make(map[*RTree]*Tree)
+	var conv func(*RTree) *Tree
+	conv = func(n *RTree) *Tree {
+		if n == nil {
+			return nil
+		}
+		if m, ok := memo[n]; ok {
+			return m
+		}
+		m := &Tree{Data: n.Data}
+		memo[n] = m
+		m.Left = conv(n.Left)
+		m.Right = conv(n.Right)
+		return m
+	}
+	return conv(t)
+}
+
+// CollectRNodes is CollectNodes for restorable trees.
+func CollectRNodes(root *RTree) []*RTree {
+	var out []*RTree
+	seen := make(map[*RTree]bool)
+	var visit func(*RTree)
+	visit = func(n *RTree) {
+		if n == nil || seen[n] {
+			return
+		}
+		seen[n] = true
+		out = append(out, n)
+		visit(n.Left)
+		visit(n.Right)
+	}
+	visit(root)
+	return out
+}
+
+// CloneTree deep-copies a tree graph, preserving aliasing and cycles.
+func CloneTree(t *Tree) *Tree {
+	return FromRTree(ToRTree(t))
+}
+
+// TreeStats summarizes a tree for diagnostics.
+func TreeStats(root *Tree) string {
+	nodes := CollectNodes(root)
+	sum := 0
+	for _, n := range nodes {
+		sum += n.Data
+	}
+	return fmt.Sprintf("%d nodes, data sum %d", len(nodes), sum)
+}

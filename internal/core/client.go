@@ -1,0 +1,256 @@
+package core
+
+import (
+	"fmt"
+	"io"
+	"reflect"
+	"sort"
+
+	"nrmi/internal/graph"
+	"nrmi/internal/wire"
+)
+
+// Call is the client half of one copy-restore remote invocation. Arguments
+// are encoded onto the request stream in order; the Call remembers which of
+// them are restorable and keeps the encoder's object table alive so the
+// response can be applied in place.
+type Call struct {
+	opts Options
+	enc  *wire.Encoder
+
+	// restorableRoots records the root values of restorable parameters, in
+	// encode order, for diagnostics and tests.
+	restorableRoots []reflect.Value
+	numRestorable   int
+	finished        bool
+}
+
+// NewCall starts encoding a request onto w.
+func NewCall(w io.Writer, opts Options) *Call {
+	return &Call{opts: opts, enc: wire.NewEncoder(w, opts.wireOptions())}
+}
+
+// EncodeCopy encodes a call-by-copy argument. Structure shared with other
+// arguments of the same call is preserved, exactly as in Java RMI's single
+// output stream per call (paper, Section 4.1).
+func (c *Call) EncodeCopy(v any) error {
+	if c.finished {
+		return fmt.Errorf("core: EncodeCopy after Finish")
+	}
+	return c.enc.Encode(v)
+}
+
+// EncodeRestorable encodes a call-by-copy-restore argument. The argument
+// must be a pointer, map, or slice (an identity-bearing reference), since
+// restoring a pure value is meaningless.
+func (c *Call) EncodeRestorable(v any) error {
+	if c.finished {
+		return fmt.Errorf("core: EncodeRestorable after Finish")
+	}
+	rv := reflect.ValueOf(v)
+	if v != nil && !graph.IsIdentityKind(rv.Kind()) {
+		return fmt.Errorf("core: restorable argument must be a pointer, map, or slice, got %T", v)
+	}
+	if err := c.enc.Encode(v); err != nil {
+		return err
+	}
+	c.restorableRoots = append(c.restorableRoots, rv)
+	c.numRestorable++
+	return nil
+}
+
+// EncodeUint emits a raw protocol integer (argument counts, semantics
+// markers) onto the request stream.
+func (c *Call) EncodeUint(v uint64) error { return c.enc.EncodeUint(v) }
+
+// EncodeString emits a raw protocol string (object and method names) onto
+// the request stream.
+func (c *Call) EncodeString(s string) error { return c.enc.EncodeString(s) }
+
+// Finish flushes the request stream. After Finish the Call waits for
+// ApplyResponse. Under Options.ShipLinearMap it first appends the explicit
+// linear-map section (an object count followed by one entry per object)
+// that optimization 1 normally makes redundant.
+func (c *Call) Finish() error {
+	c.finished = true
+	if c.opts.ShipLinearMap {
+		objs := c.enc.Objects()
+		if err := c.enc.EncodeUint(uint64(len(objs))); err != nil {
+			return err
+		}
+		for id := range objs {
+			if err := c.enc.EncodeUint(uint64(id)); err != nil {
+				return err
+			}
+		}
+	}
+	return c.enc.Flush()
+}
+
+// Objects exposes the client-side linear map (the request encoder's object
+// table) for tests and metrics.
+func (c *Call) Objects() []reflect.Value { return c.enc.Objects() }
+
+// BytesSent returns the size of the encoded request.
+func (c *Call) BytesSent() int64 { return c.enc.BytesWritten() }
+
+// Response is the decoded outcome of a restorable call.
+type Response struct {
+	// Returns holds the remote method's return values.
+	Returns []any
+	// Restored is the number of old objects whose state was overwritten.
+	Restored int
+	// NewObjects is the number of server-allocated objects materialized on
+	// the client.
+	NewObjects int
+	// BytesReceived is the size of the response stream consumed.
+	BytesReceived int64
+}
+
+// restorableSet walks the restorable argument roots and returns the stream
+// IDs of every reachable object, ascending: the same set the server's
+// Prepare computes, so the two endpoints agree on the restore-protocol
+// object numbering without exchanging it. Only this subset is seeded into
+// the response decoder: by-copy argument objects must decode as fresh
+// copies, exactly as under plain RMI.
+func (c *Call) restorableSet() ([]int, error) {
+	w := graph.NewWalker(c.opts.Access)
+	for _, root := range c.restorableRoots {
+		if !root.IsValid() {
+			continue
+		}
+		if err := w.RootValue(root); err != nil {
+			return nil, fmt.Errorf("core: walking restorable arguments: %w", err)
+		}
+	}
+	ids := make([]int, 0, w.LinearMap().Len())
+	for _, obj := range w.LinearMap().Objects() {
+		id, ok := c.enc.IDOf(obj.Ref)
+		if !ok {
+			return nil, fmt.Errorf("%w: restorable object missing from request table", ErrBadResponse)
+		}
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	return ids, nil
+}
+
+// ApplyResponse reads the server's restore section and return values from r
+// and performs the in-place restore: afterwards every client-side alias of
+// every pre-call object observes the server's mutations. It implements
+// steps 4–6 of the paper's algorithm in a single pass.
+func (c *Call) ApplyResponse(r io.Reader) (*Response, error) {
+	dec := wire.NewDecoder(r, c.opts.wireOptions())
+	// Seed the response decoder with the restorable subset of the request
+	// object table, in ascending stream-ID order: references to those IDs
+	// must resolve to the original client objects, while everything else
+	// (including returned by-copy argument data) materializes fresh.
+	set, err := c.restorableSet()
+	if err != nil {
+		return nil, err
+	}
+	seeded := make([]reflect.Value, 0, len(set))
+	for _, id := range set {
+		obj := c.enc.Objects()[id]
+		if _, err := dec.SeedObject(obj); err != nil {
+			return nil, err
+		}
+		seeded = append(seeded, obj)
+	}
+	numSeeded := dec.NumSeeded()
+
+	n, err := dec.DecodeUint()
+	if err != nil {
+		return nil, fmt.Errorf("core: reading restore count: %w", err)
+	}
+	if n > uint64(numSeeded) {
+		return nil, fmt.Errorf("%w: %d content records for %d objects", ErrBadResponse, n, numSeeded)
+	}
+	type pending struct {
+		orig reflect.Value
+		tmp  reflect.Value
+	}
+	updates := make([]pending, 0, n)
+	for i := uint64(0); i < n; i++ {
+		id, err := dec.DecodeUint()
+		if err != nil {
+			return nil, fmt.Errorf("core: reading restore id: %w", err)
+		}
+		if id >= uint64(numSeeded) {
+			return nil, fmt.Errorf("%w: content record for unknown object %d", ErrBadResponse, id)
+		}
+		tmp, err := dec.DecodeSeededContent(int(id))
+		if err != nil {
+			return nil, fmt.Errorf("core: decoding content for object %d: %w", id, err)
+		}
+		updates = append(updates, pending{orig: seeded[id], tmp: tmp})
+	}
+
+	// Return values decode against the same table: aliasing between
+	// returned data and restored parameters is preserved.
+	nret, err := dec.DecodeUint()
+	if err != nil {
+		return nil, fmt.Errorf("core: reading return count: %w", err)
+	}
+	rets := make([]any, 0, nret)
+	for i := uint64(0); i < nret; i++ {
+		v, err := dec.Decode()
+		if err != nil {
+			return nil, fmt.Errorf("core: decoding return value %d: %w", i, err)
+		}
+		rets = append(rets, v)
+	}
+
+	// Step 5: overwrite each original, in place. Every temporary's
+	// references already point at originals (old) or at freshly
+	// materialized objects (new), so a shallow overwrite completes the
+	// restore.
+	for _, u := range updates {
+		if err := restoreInPlace(u.orig, u.tmp); err != nil {
+			return nil, err
+		}
+	}
+	return &Response{
+		Returns:       rets,
+		Restored:      len(updates),
+		NewObjects:    len(dec.Objects()) - numSeeded,
+		BytesReceived: dec.BytesRead(),
+	}, nil
+}
+
+// restoreInPlace overwrites the contents of orig with the contents of tmp.
+// Both are references of the same kind and type.
+func restoreInPlace(orig, tmp reflect.Value) error {
+	if orig.Type() != tmp.Type() {
+		return fmt.Errorf("%w: restoring %s into %s", ErrBadResponse, tmp.Type(), orig.Type())
+	}
+	switch orig.Kind() {
+	case reflect.Ptr:
+		orig.Elem().Set(tmp.Elem())
+		return nil
+	case reflect.Map:
+		// Java objects are mutated in place; for a Go map that means
+		// clearing and refilling the original header all aliases share.
+		iter := orig.MapRange()
+		var stale []reflect.Value
+		for iter.Next() {
+			stale = append(stale, iter.Key())
+		}
+		for _, k := range stale {
+			orig.SetMapIndex(k, reflect.Value{})
+		}
+		iter = tmp.MapRange()
+		for iter.Next() {
+			orig.SetMapIndex(iter.Key(), iter.Value())
+		}
+		return nil
+	case reflect.Slice:
+		if orig.Len() != tmp.Len() {
+			return fmt.Errorf("%w: slice length changed %d -> %d", ErrBadResponse, orig.Len(), tmp.Len())
+		}
+		reflect.Copy(orig, tmp)
+		return nil
+	default:
+		return fmt.Errorf("%w: cannot restore kind %s", ErrBadResponse, orig.Kind())
+	}
+}

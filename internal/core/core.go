@@ -1,0 +1,120 @@
+// Package core implements the paper's primary contribution: the
+// call-by-copy-restore algorithm for arbitrary linked data structures
+// (Section 3 of the paper), built on the identity-preserving wire codec.
+//
+// The algorithm, as realized here:
+//
+//  1. The client encodes the call arguments with one wire.Encoder. The
+//     encoder's object table — every object reachable from the arguments,
+//     in first-encounter order — IS the linear map (step 1). Because the
+//     decoder reconstructs the table in the same order, the map never
+//     crosses the wire (the paper's optimization 1, Section 5.2.4).
+//  2. The server decodes the arguments (step 2) and, before invoking the
+//     method, walks the restorable roots to fix the set of "old" objects.
+//  3. The method runs at full native speed: no read/write barriers, no
+//     network traffic (the paper's central efficiency claim).
+//  4. The server encodes a response whose encoder is seeded with the full
+//     decode-time object table, then ships one content record per old
+//     object — even objects the method unlinked — plus, inline, any new
+//     objects now referenced (step 3).
+//  5. The client decodes each content record into a temporary "modified
+//     version"; references to old IDs resolve directly to the client's
+//     original objects, performing the map match-up (step 4) and the
+//     pointer redirection of steps 5–6 implicitly during decode.
+//  6. Finally each original object is overwritten in place from its
+//     temporary, making every mutation visible through every client-side
+//     alias (step 5).
+//
+// Two policy extensions are provided:
+//
+//   - PolicyDCE reproduces the DCE RPC behaviour the paper contrasts with
+//     (Section 4.2): only objects still reachable from the parameters
+//     after the call are restored, diverging from true copy-restore
+//     exactly as the paper's Figure 9 shows.
+//   - Options.Delta implements the "delta" optimization the paper leaves
+//     as future work (Section 5.2.4, optimization 2): the server snapshots
+//     the restorable subgraph before the call and ships content records
+//     only for objects whose shallow state actually changed.
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"nrmi/internal/graph"
+	"nrmi/internal/wire"
+)
+
+// RestorePolicy selects which old objects the server restores.
+type RestorePolicy int
+
+const (
+	// PolicyFull is true call-by-copy-restore: every object reachable from
+	// the restorable parameters at call time is restored, reachable or not
+	// afterwards. This is NRMI's semantics.
+	PolicyFull RestorePolicy = iota
+
+	// PolicyDCE restores only objects still reachable from the parameters
+	// when the call returns, emulating the DCE RPC specification's weaker
+	// guarantee (paper, Section 4.2 and Figure 9).
+	PolicyDCE
+)
+
+// String returns the policy name.
+func (p RestorePolicy) String() string {
+	switch p {
+	case PolicyFull:
+		return "full"
+	case PolicyDCE:
+		return "dce"
+	default:
+		return fmt.Sprintf("RestorePolicy(%d)", int(p))
+	}
+}
+
+// Options configures both endpoints of a copy-restore call. The zero value
+// means: engine V2, exported-field access, default registry, full restore,
+// no delta.
+type Options struct {
+	// Engine selects the wire codec generation.
+	Engine wire.Engine
+	// Access selects struct-field visibility.
+	Access graph.AccessMode
+	// Registry resolves named types.
+	Registry *wire.Registry
+	// Policy selects full copy-restore or the DCE RPC emulation.
+	Policy RestorePolicy
+	// Delta enables the changed-objects-only response encoding.
+	Delta bool
+	// MaxElems caps decoded length fields; see wire.Options.
+	MaxElems int
+	// DisablePlanCache selects the "portable" (uncached reflection) codec
+	// path; see wire.Options.DisablePlanCache.
+	DisablePlanCache bool
+	// ShipLinearMap transmits the linear map explicitly with the request,
+	// the naive scheme NRMI's optimization 1 eliminates by rebuilding the
+	// map during un-serialization (Section 5.2.4). Exists only so the
+	// ablation can measure what the optimization saves; both endpoints
+	// must agree on the setting.
+	ShipLinearMap bool
+}
+
+func (o Options) wireOptions() wire.Options {
+	return wire.Options{
+		Engine:           o.Engine,
+		Access:           o.Access,
+		Registry:         o.Registry,
+		MaxElems:         o.MaxElems,
+		DisablePlanCache: o.DisablePlanCache,
+	}
+}
+
+// Errors reported by the copy-restore protocol.
+var (
+	// ErrNotPrepared is reported when server response encoding is attempted
+	// before Prepare fixed the pre-call object set.
+	ErrNotPrepared = errors.New("core: server call not prepared")
+
+	// ErrBadResponse is reported for structurally invalid restore sections.
+	ErrBadResponse = errors.New("core: malformed restore response")
+)

@@ -1,0 +1,285 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"nrmi/internal/graph"
+	"nrmi/internal/wire"
+)
+
+// This file checks the paper's central invariant (Section 5.3.2): "the
+// resulting execution semantics is as if both the caller and the callee
+// were executing within the same address space". For random object graphs
+// with random aliases and a random mutation script, running the script
+// remotely under copy-restore must leave the client's world graph-equal to
+// running the same script locally.
+
+// rng is a tiny deterministic generator so scripts replay identically on
+// isomorphic graphs.
+type rng struct{ state uint64 }
+
+func newRng(seed int64) *rng { return &rng{state: uint64(seed)*2654435761 + 0x9E3779B97F4A7C15} }
+
+func (r *rng) next(n int) int {
+	r.state = r.state*6364136223846793005 + 1442695040888963407
+	return int(r.state>>33) % n
+}
+
+// genWorld builds a pseudo-random tree of size nodes with extra aliasing
+// edges and a set of external aliases (the client-side references that make
+// restore semantics observable).
+func genWorld(seed int64, size int) *world {
+	r := newRng(seed)
+	nodes := []*Tree{{Data: r.next(1000)}}
+	for len(nodes) < size {
+		p := nodes[r.next(len(nodes))]
+		n := &Tree{Data: r.next(1000)}
+		if p.Left == nil {
+			p.Left = n
+		} else if p.Right == nil {
+			p.Right = n
+		} else {
+			continue
+		}
+		nodes = append(nodes, n)
+	}
+	// Aliasing edges inside the structure (including possible cycles).
+	for i := 0; i < size/3; i++ {
+		p := nodes[r.next(len(nodes))]
+		if p.Right == nil {
+			p.Right = nodes[r.next(len(nodes))]
+		}
+	}
+	// External aliases.
+	w := &world{Root: nodes[0]}
+	for i := 0; i < 1+size/4; i++ {
+		w.Aliases = append(w.Aliases, nodes[r.next(len(nodes))])
+	}
+	return w
+}
+
+// mutOp is one replayable mutation. Node indices refer to the pre-mutation
+// DFS preorder collection, so the script applies identically to isomorphic
+// graphs.
+type mutOp struct {
+	kind int // 0 setData, 1 setLeft, 2 setRight, 3 attach new node
+	a, b int
+	val  int
+	side int
+}
+
+func genScript(seed int64, numNodes, numOps int) []mutOp {
+	r := newRng(seed ^ 0x5DEECE66D)
+	ops := make([]mutOp, 0, numOps)
+	for i := 0; i < numOps; i++ {
+		ops = append(ops, mutOp{
+			kind: r.next(4),
+			a:    r.next(numNodes),
+			b:    r.next(numNodes + 1), // == numNodes means nil
+			val:  r.next(10000),
+			side: r.next(2),
+		})
+	}
+	return ops
+}
+
+// collectNodes gathers nodes in DFS preorder (Left before Right), visiting
+// each object once. Deterministic on isomorphic graphs.
+func collectNodes(root *Tree) []*Tree {
+	var out []*Tree
+	seen := make(map[*Tree]bool)
+	var visit func(n *Tree)
+	visit = func(n *Tree) {
+		if n == nil || seen[n] {
+			return
+		}
+		seen[n] = true
+		out = append(out, n)
+		visit(n.Left)
+		visit(n.Right)
+	}
+	visit(root)
+	return out
+}
+
+// applyScript replays ops against the graph rooted at root. Indices out of
+// range of the collected node list wrap around.
+func applyScript(root *Tree, ops []mutOp) {
+	nodes := collectNodes(root)
+	if len(nodes) == 0 {
+		return
+	}
+	pick := func(i int) *Tree {
+		if i >= len(nodes) {
+			return nil
+		}
+		return nodes[i%len(nodes)]
+	}
+	for _, op := range ops {
+		a := nodes[op.a%len(nodes)]
+		switch op.kind {
+		case 0:
+			a.Data = op.val
+		case 1:
+			a.Left = pick(op.b)
+		case 2:
+			a.Right = pick(op.b)
+		case 3:
+			n := &Tree{Data: op.val, Left: pick(op.b)}
+			if op.side == 0 {
+				a.Left = n
+			} else {
+				a.Right = n
+			}
+		}
+	}
+}
+
+// checkEquivalence runs one seed through both paths and compares worlds.
+func checkEquivalence(t *testing.T, opts Options, seed int64, size, numOps int) bool {
+	t.Helper()
+	remote := genWorld(seed, size)
+	local := genWorld(seed, size) // identical construction = isomorphic copy
+	script := genScript(seed, size, numOps)
+
+	// Local execution: the ground truth.
+	applyScript(local.Root, script)
+
+	// Remote execution under copy-restore.
+	var req bytes.Buffer
+	call := NewCall(&req, opts)
+	if err := call.EncodeRestorable(remote.Root); err != nil {
+		t.Logf("seed %d: encode: %v", seed, err)
+		return false
+	}
+	if err := call.Finish(); err != nil {
+		t.Logf("seed %d: finish: %v", seed, err)
+		return false
+	}
+	srv := AcceptCall(&req, opts)
+	sroot, err := srv.DecodeRestorable()
+	if err != nil {
+		t.Logf("seed %d: server decode: %v", seed, err)
+		return false
+	}
+	if err := srv.Prepare(); err != nil {
+		t.Logf("seed %d: prepare: %v", seed, err)
+		return false
+	}
+	applyScript(sroot.(*Tree), script)
+	var respBuf bytes.Buffer
+	if _, err := srv.EncodeResponse(&respBuf, nil); err != nil {
+		t.Logf("seed %d: encode response: %v", seed, err)
+		return false
+	}
+	if _, err := call.ApplyResponse(&respBuf); err != nil {
+		t.Logf("seed %d: apply: %v", seed, err)
+		return false
+	}
+
+	eq, err := graph.Equal(graph.AccessExported, remote, local)
+	if err != nil {
+		t.Logf("seed %d: equal: %v", seed, err)
+		return false
+	}
+	if !eq {
+		t.Logf("seed %d: remote world diverged from local execution", seed)
+	}
+	return eq
+}
+
+func TestQuickRemoteEqualsLocal(t *testing.T) {
+	for _, eng := range []wire.Engine{wire.EngineV1, wire.EngineV2} {
+		t.Run(eng.String(), func(t *testing.T) {
+			opts := testOptions(t)
+			opts.Engine = eng
+			f := func(seed int64, szRaw, opsRaw uint8) bool {
+				size := int(szRaw%48) + 2
+				numOps := int(opsRaw%24) + 1
+				return checkEquivalence(t, opts, seed, size, numOps)
+			}
+			if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestQuickRemoteEqualsLocalWithDelta(t *testing.T) {
+	// The delta optimization must not change semantics, only bytes.
+	opts := testOptions(t)
+	opts.Delta = true
+	f := func(seed int64, szRaw, opsRaw uint8) bool {
+		size := int(szRaw%48) + 2
+		numOps := int(opsRaw % 16) // zero ops allowed: nothing changes
+		return checkEquivalence(t, opts, seed, size, numOps)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickRemoteEqualsLocalUnsafeAccess(t *testing.T) {
+	opts := testOptions(t)
+	opts.Access = graph.AccessUnsafe
+	f := func(seed int64, szRaw, opsRaw uint8) bool {
+		size := int(szRaw%32) + 2
+		numOps := int(opsRaw%16) + 1
+		return checkEquivalence(t, opts, seed, size, numOps)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickDeltaShipsSubset(t *testing.T) {
+	// Delta responses never ship more old-object records than full ones.
+	optsFull := testOptions(t)
+	optsDelta := testOptions(t)
+	optsDelta.Delta = true
+	f := func(seed int64, szRaw, opsRaw uint8) bool {
+		size := int(szRaw%48) + 2
+		numOps := int(opsRaw % 8)
+		script := genScript(seed, size, numOps)
+		run := func(opts Options) (*ResponseStats, bool) {
+			w := genWorld(seed, size)
+			var req bytes.Buffer
+			call := NewCall(&req, opts)
+			if err := call.EncodeRestorable(w.Root); err != nil {
+				return nil, false
+			}
+			if err := call.Finish(); err != nil {
+				return nil, false
+			}
+			srv := AcceptCall(&req, opts)
+			sroot, err := srv.DecodeRestorable()
+			if err != nil {
+				return nil, false
+			}
+			if err := srv.Prepare(); err != nil {
+				return nil, false
+			}
+			applyScript(sroot.(*Tree), script)
+			var respBuf bytes.Buffer
+			stats, err := srv.EncodeResponse(&respBuf, nil)
+			if err != nil {
+				return nil, false
+			}
+			if _, err := call.ApplyResponse(&respBuf); err != nil {
+				return nil, false
+			}
+			return stats, true
+		}
+		full, ok1 := run(optsFull)
+		delta, ok2 := run(optsDelta)
+		if !ok1 || !ok2 {
+			return false
+		}
+		return delta.OldSent <= full.OldSent && delta.BytesSent <= full.BytesSent
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,297 @@
+package core
+
+import (
+	"fmt"
+	"io"
+	"reflect"
+	"sort"
+
+	"nrmi/internal/graph"
+	"nrmi/internal/wire"
+)
+
+// ServerCall is the server half of one copy-restore invocation: it decodes
+// the arguments, fixes the pre-call object set, lets the caller invoke the
+// actual method at full speed, and encodes the restore response.
+type ServerCall struct {
+	opts Options
+	dec  *wire.Decoder
+
+	restorableRoots []reflect.Value
+
+	// restoreIDs is the pre-call set of object IDs reachable from the
+	// restorable roots, ascending — the server's linear map subset.
+	restoreIDs []int
+	// identToID maps decode-time object identity to stream ID.
+	identToID map[graph.Ident]int
+	prepared  bool
+
+	// snapshot pairs pre-call object identities with deep-copied snapshots
+	// when delta encoding is on.
+	snapshot *graph.Copier
+}
+
+// AcceptCall starts decoding a request from r.
+func AcceptCall(r io.Reader, opts Options) *ServerCall {
+	return &ServerCall{opts: opts, dec: wire.NewDecoder(r, opts.wireOptions())}
+}
+
+// DecodeCopy decodes a call-by-copy argument.
+func (s *ServerCall) DecodeCopy() (any, error) {
+	return s.dec.Decode()
+}
+
+// DecodeRestorable decodes a call-by-copy-restore argument and remembers
+// its root for the restore phase.
+func (s *ServerCall) DecodeRestorable() (any, error) {
+	v, err := s.dec.Decode()
+	if err != nil {
+		return nil, err
+	}
+	if v != nil {
+		s.restorableRoots = append(s.restorableRoots, reflect.ValueOf(v))
+	}
+	return v, nil
+}
+
+// DecodeUint reads a raw protocol integer written with Call.EncodeUint.
+func (s *ServerCall) DecodeUint() (uint64, error) { return s.dec.DecodeUint() }
+
+// DecodeString reads a raw protocol string written with Call.EncodeString.
+func (s *ServerCall) DecodeString() (string, error) { return s.dec.DecodeString() }
+
+// Access returns the field-access mode announced by the request stream.
+// Valid once at least one argument has been decoded.
+func (s *ServerCall) Access() graph.AccessMode { return s.dec.Access() }
+
+// Engine returns the wire engine announced by the request stream.
+func (s *ServerCall) Engine() wire.Engine { return s.dec.Engine() }
+
+// BytesReceived returns the size of the request consumed so far.
+func (s *ServerCall) BytesReceived() int64 { return s.dec.BytesRead() }
+
+// Prepare fixes the pre-call object set: every object reachable from the
+// restorable parameters right now, before the method body runs (paper,
+// Section 3: the linear map of "old" objects). It must be called after all
+// arguments are decoded and before the method executes. With Options.Delta
+// it additionally snapshots the restorable subgraph for change detection.
+func (s *ServerCall) Prepare() error {
+	if s.prepared {
+		return nil
+	}
+	if s.opts.ShipLinearMap {
+		// The naive protocol ships the linear map after the arguments;
+		// consume and cross-check it against the table we rebuilt for
+		// free during decoding.
+		n, err := s.dec.DecodeUint()
+		if err != nil {
+			return fmt.Errorf("core: reading shipped linear map: %w", err)
+		}
+		if n != uint64(len(s.dec.Objects())) {
+			return fmt.Errorf("%w: shipped map has %d entries, decoded table has %d",
+				ErrBadResponse, n, len(s.dec.Objects()))
+		}
+		for i := uint64(0); i < n; i++ {
+			if _, err := s.dec.DecodeUint(); err != nil {
+				return fmt.Errorf("core: reading shipped map entry %d: %w", i, err)
+			}
+		}
+	}
+	access := s.effectiveAccess()
+	s.identToID = make(map[graph.Ident]int, len(s.dec.Objects()))
+	for id, obj := range s.dec.Objects() {
+		if ident, ok := graph.IdentOf(obj); ok {
+			s.identToID[ident] = id
+		}
+	}
+	set, err := s.reachableIDs(access, false)
+	if err != nil {
+		return err
+	}
+	s.restoreIDs = set
+	if s.opts.Delta {
+		s.snapshot = graph.NewCopier(access)
+		for _, root := range s.restorableRoots {
+			if _, err := s.snapshot.CopyValue(root); err != nil {
+				return fmt.Errorf("core: delta snapshot: %w", err)
+			}
+		}
+	}
+	s.prepared = true
+	return nil
+}
+
+// effectiveAccess prefers the mode announced on the wire, falling back to
+// the configured one before any argument has been decoded.
+func (s *ServerCall) effectiveAccess() graph.AccessMode {
+	if len(s.dec.Objects()) > 0 || s.dec.NumSeeded() > 0 {
+		return s.dec.Access()
+	}
+	return s.opts.Access
+}
+
+// reachableIDs walks the restorable roots and returns the stream IDs of
+// every reachable object, ascending. With allowNew, objects absent from the
+// decode table (allocated by the method body, so only possible on the
+// post-call walk) are skipped; without it their presence is an internal
+// error, since the pre-call roots came from the table itself.
+func (s *ServerCall) reachableIDs(access graph.AccessMode, allowNew bool) ([]int, error) {
+	w := graph.NewWalker(access)
+	for _, root := range s.restorableRoots {
+		if err := w.RootValue(root); err != nil {
+			return nil, fmt.Errorf("core: walking restorable parameters: %w", err)
+		}
+	}
+	var ids []int
+	for _, obj := range w.LinearMap().Objects() {
+		ident, _ := graph.IdentOf(obj.Ref)
+		id, ok := s.identToID[ident]
+		if !ok {
+			if allowNew {
+				continue
+			}
+			return nil, fmt.Errorf("%w: reachable object missing from decode table", ErrBadResponse)
+		}
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	return ids, nil
+}
+
+// ResponseStats reports what a response encoding shipped, for metrics and
+// the experiment harness.
+type ResponseStats struct {
+	// OldTotal is the number of pre-call objects in the restore set.
+	OldTotal int
+	// OldSent is how many of them had content records shipped (all of them
+	// under PolicyFull without delta; fewer under PolicyDCE or delta).
+	OldSent int
+	// BytesSent is the size of the encoded response.
+	BytesSent int64
+}
+
+// EncodeResponse writes the restore section and return values to w,
+// implementing step 3 of the algorithm: ship back every old object's
+// current state (subject to policy and delta filtering), with new objects
+// inlined on first reference.
+func (s *ServerCall) EncodeResponse(w io.Writer, rets []any) (*ResponseStats, error) {
+	if !s.prepared {
+		return nil, ErrNotPrepared
+	}
+	access := s.effectiveAccess()
+	sendOpts := s.opts
+	sendOpts.Access = access
+	enc := wire.NewEncoder(w, sendOpts.wireOptions())
+	// Seed the response encoder with the restorable subset of the decode
+	// table, in ascending stream-ID order — the exact set and order the
+	// client's ApplyResponse reconstructs independently. Objects outside
+	// the subset (by-copy argument data referenced from return values)
+	// encode as fresh objects, preserving plain-RMI copy semantics for
+	// them.
+	subsetIdx := make(map[int]int, len(s.restoreIDs))
+	for i, sid := range s.restoreIDs {
+		if _, err := enc.SeedObject(s.dec.Objects()[sid]); err != nil {
+			return nil, err
+		}
+		subsetIdx[sid] = i
+	}
+
+	include, err := s.filterIDs(access)
+	if err != nil {
+		return nil, err
+	}
+	if err := enc.EncodeUint(uint64(len(include))); err != nil {
+		return nil, err
+	}
+	for _, sid := range include {
+		idx, ok := subsetIdx[sid]
+		if !ok {
+			return nil, fmt.Errorf("%w: restore id %d outside restorable set", ErrBadResponse, sid)
+		}
+		if err := enc.EncodeUint(uint64(idx)); err != nil {
+			return nil, err
+		}
+		if err := enc.EncodeSeededContent(idx); err != nil {
+			return nil, fmt.Errorf("core: encoding content for object %d: %w", sid, err)
+		}
+	}
+	if err := enc.EncodeUint(uint64(len(rets))); err != nil {
+		return nil, err
+	}
+	for _, ret := range rets {
+		if err := enc.Encode(ret); err != nil {
+			return nil, fmt.Errorf("core: encoding return value: %w", err)
+		}
+	}
+	if err := enc.Flush(); err != nil {
+		return nil, err
+	}
+	return &ResponseStats{
+		OldTotal:  len(s.restoreIDs),
+		OldSent:   len(include),
+		BytesSent: enc.BytesWritten(),
+	}, nil
+}
+
+// filterIDs applies the restore policy and delta filtering to the pre-call
+// object set.
+func (s *ServerCall) filterIDs(access graph.AccessMode) ([]int, error) {
+	include := s.restoreIDs
+	if s.opts.Policy == PolicyDCE {
+		// DCE RPC semantics: only objects still reachable from the
+		// parameters after the call are restored (paper, Figure 9).
+		post, err := s.reachableIDs(access, true)
+		if err != nil {
+			return nil, err
+		}
+		postSet := make(map[int]bool, len(post))
+		for _, id := range post {
+			postSet[id] = true
+		}
+		var filtered []int
+		for _, id := range include {
+			if postSet[id] {
+				filtered = append(filtered, id)
+			}
+		}
+		include = filtered
+	}
+	if s.opts.Delta && s.snapshot != nil {
+		var filtered []int
+		for _, id := range include {
+			cur := s.dec.Objects()[id]
+			snap, ok := s.snapshot.Copied(cur)
+			if !ok {
+				// Not snapshotted (should not happen for pre-call set);
+				// ship it to be safe.
+				filtered = append(filtered, id)
+				continue
+			}
+			eq, err := graph.ShallowEqualObject(access, cur, snap, s.pairSnapshot)
+			if err != nil {
+				// Not diffable (e.g. a map with identity-bearing keys):
+				// fall back to shipping it. Delta is an optimization and
+				// must never turn a restorable call into an error.
+				filtered = append(filtered, id)
+				continue
+			}
+			if !eq {
+				filtered = append(filtered, id)
+			}
+		}
+		include = filtered
+	}
+	return include, nil
+}
+
+// pairSnapshot reports whether snapshot reference b is the snapshot
+// counterpart of current reference a.
+func (s *ServerCall) pairSnapshot(a, b reflect.Value) bool {
+	snap, ok := s.snapshot.Copied(a)
+	if !ok {
+		return false // a is a new object: cannot match any snapshot ref
+	}
+	si, ok1 := graph.IdentOf(snap)
+	bi, ok2 := graph.IdentOf(b)
+	return ok1 && ok2 && si == bi
+}

@@ -1,0 +1,89 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+)
+
+// The paper's optimization 1 (Section 5.2.4): "instead of sending the
+// linear map over the network, we can reconstruct it during the
+// un-serialization phase". These tests exercise the naive ship-the-map
+// variant and measure what the optimization saves.
+
+func runShipMap(t *testing.T, ship bool) (requestBytes int64) {
+	t.Helper()
+	opts := testOptions(t)
+	opts.ShipLinearMap = ship
+	root, a1, a2, rl, rr := paperTree()
+
+	var req bytes.Buffer
+	call := NewCall(&req, opts)
+	if err := call.EncodeRestorable(root); err != nil {
+		t.Fatal(err)
+	}
+	if err := call.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	srv := AcceptCall(&req, opts)
+	sroot, err := srv.DecodeRestorable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Prepare(); err != nil {
+		t.Fatal(err)
+	}
+	paperFoo(sroot.(*Tree))
+	var respBuf bytes.Buffer
+	if _, err := srv.EncodeResponse(&respBuf, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := call.ApplyResponse(&respBuf); err != nil {
+		t.Fatal(err)
+	}
+	assertFigure2(t, root, a1, a2, rl, rr)
+	return call.BytesSent()
+}
+
+func TestShipLinearMapSemanticsUnchanged(t *testing.T) {
+	// Shipping the map is pure overhead: the restore result is identical.
+	runShipMap(t, true)
+}
+
+func TestShipLinearMapCostsBytes(t *testing.T) {
+	without := runShipMap(t, false)
+	with := runShipMap(t, true)
+	if with <= without {
+		t.Fatalf("shipping the map must cost bytes: %d vs %d", with, without)
+	}
+	// The overhead is one count plus one entry per object (5 objects).
+	if with-without < 5 {
+		t.Fatalf("map section suspiciously small: %d extra bytes", with-without)
+	}
+}
+
+func TestShipLinearMapMismatchRejected(t *testing.T) {
+	// A server NOT configured for the shipped map chokes on the trailing
+	// section only if it tries to read beyond the args — which it does
+	// not; the reverse (server expects a map, client ships none) must
+	// fail loudly at Prepare.
+	clientOpts := testOptions(t)
+	serverOpts := clientOpts
+	serverOpts.ShipLinearMap = true
+
+	root, _, _, _, _ := paperTree()
+	var req bytes.Buffer
+	call := NewCall(&req, clientOpts)
+	if err := call.EncodeRestorable(root); err != nil {
+		t.Fatal(err)
+	}
+	if err := call.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	srv := AcceptCall(&req, serverOpts)
+	if _, err := srv.DecodeRestorable(); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Prepare(); err == nil {
+		t.Fatal("missing shipped map must fail Prepare")
+	}
+}

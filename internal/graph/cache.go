@@ -1,0 +1,25 @@
+package graph
+
+import (
+	"reflect"
+	"sync"
+)
+
+// typeBoolCache is a concurrency-safe memo table from reflect.Type to bool,
+// used for per-type structural predicates that are expensive to recompute on
+// hot paths.
+type typeBoolCache struct {
+	m sync.Map // reflect.Type -> bool
+}
+
+func (c *typeBoolCache) load(t reflect.Type) (bool, bool) {
+	v, ok := c.m.Load(t)
+	if !ok {
+		return false, false
+	}
+	return v.(bool), true
+}
+
+func (c *typeBoolCache) store(t reflect.Type, v bool) {
+	c.m.Store(t, v)
+}

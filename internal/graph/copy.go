@@ -1,0 +1,191 @@
+package graph
+
+import (
+	"fmt"
+	"reflect"
+)
+
+// Copier builds identity-preserving deep copies: aliasing in the source
+// graph (two paths reaching the same object) is reproduced exactly in the
+// copy, and cycles terminate. It is the in-process equivalent of what the
+// wire codec does across a connection, and the delta optimization uses it to
+// snapshot the server-side graph before the remote method runs.
+type Copier struct {
+	// Access selects the struct-field access mode.
+	Access AccessMode
+
+	memo map[Ident]reflect.Value // source identity -> copied reference
+}
+
+// NewCopier returns a Copier with an empty memo table. A single Copier may
+// copy several roots; aliasing across roots is preserved.
+func NewCopier(mode AccessMode) *Copier {
+	return &Copier{Access: mode, memo: make(map[Ident]reflect.Value)}
+}
+
+// Mapping returns the source-identity to copied-reference table accumulated
+// so far. The delta engine uses it to pair snapshot objects with originals.
+func (c *Copier) Mapping() map[Ident]reflect.Value { return c.memo }
+
+// Copied returns the copy corresponding to a source reference, if that
+// object has been copied.
+func (c *Copier) Copied(ref reflect.Value) (reflect.Value, bool) {
+	if !isIdentityKind(ref.Kind()) || ref.IsNil() {
+		return reflect.Value{}, false
+	}
+	v, ok := c.memo[identOf(ref)]
+	return v, ok
+}
+
+// Copy deep-copies v, preserving aliasing and cycles.
+func (c *Copier) Copy(v any) (any, error) {
+	if v == nil {
+		return nil, nil
+	}
+	out, err := c.copyValue(reflect.ValueOf(v), 0)
+	if err != nil {
+		return nil, err
+	}
+	return out.Interface(), nil
+}
+
+// CopyValue is Copy for callers holding reflect.Values.
+func (c *Copier) CopyValue(v reflect.Value) (reflect.Value, error) {
+	return c.copyValue(v, 0)
+}
+
+// Copy is the one-shot convenience: an identity-preserving deep copy of v.
+func Copy(mode AccessMode, v any) (any, error) {
+	return NewCopier(mode).Copy(v)
+}
+
+func (c *Copier) copyValue(v reflect.Value, depth int) (reflect.Value, error) {
+	if depth > maxDepth {
+		return reflect.Value{}, ErrDepthExceeded
+	}
+	if !v.IsValid() {
+		return v, nil
+	}
+	k := v.Kind()
+	if forbiddenKind(k) {
+		return reflect.Value{}, fmt.Errorf("%w: %s", ErrNotSerializable, v.Type())
+	}
+	switch k {
+	case reflect.Ptr:
+		if v.IsNil() {
+			return reflect.Zero(v.Type()), nil
+		}
+		if out, ok := c.memo[identOf(v)]; ok {
+			return out, nil
+		}
+		out := reflect.New(v.Type().Elem())
+		c.memo[identOf(v)] = out // memo before descending: cycles terminate
+		elem, err := c.copyValue(v.Elem(), depth+1)
+		if err != nil {
+			return reflect.Value{}, err
+		}
+		out.Elem().Set(elem)
+		return out, nil
+
+	case reflect.Map:
+		if v.IsNil() {
+			return reflect.Zero(v.Type()), nil
+		}
+		if out, ok := c.memo[identOf(v)]; ok {
+			return out, nil
+		}
+		out := reflect.MakeMapWithSize(v.Type(), v.Len())
+		c.memo[identOf(v)] = out
+		iter := v.MapRange()
+		for iter.Next() {
+			ck, err := c.copyValue(iter.Key(), depth+1)
+			if err != nil {
+				return reflect.Value{}, err
+			}
+			cv, err := c.copyValue(iter.Value(), depth+1)
+			if err != nil {
+				return reflect.Value{}, err
+			}
+			out.SetMapIndex(ck, cv)
+		}
+		return out, nil
+
+	case reflect.Slice:
+		if v.IsNil() {
+			return reflect.Zero(v.Type()), nil
+		}
+		if out, ok := c.memo[identOf(v)]; ok {
+			if out.Len() != v.Len() {
+				return reflect.Value{}, fmt.Errorf("%w: lengths %d and %d share storage",
+					ErrSliceOverlap, out.Len(), v.Len())
+			}
+			return out, nil
+		}
+		out := reflect.MakeSlice(v.Type(), v.Len(), v.Len())
+		c.memo[identOf(v)] = out
+		for i := 0; i < v.Len(); i++ {
+			ce, err := c.copyValue(v.Index(i), depth+1)
+			if err != nil {
+				return reflect.Value{}, err
+			}
+			out.Index(i).Set(ce)
+		}
+		return out, nil
+
+	case reflect.Interface:
+		if v.IsNil() {
+			return reflect.Zero(v.Type()), nil
+		}
+		inner, err := c.copyValue(v.Elem(), depth+1)
+		if err != nil {
+			return reflect.Value{}, err
+		}
+		out := reflect.New(v.Type()).Elem()
+		out.Set(inner)
+		return out, nil
+
+	case reflect.Struct:
+		src := launder(v)
+		out := reflect.New(v.Type()).Elem()
+		for i := 0; i < src.NumField(); i++ {
+			f, ok, err := fieldForRead(src, i, c.Access)
+			if err != nil {
+				return reflect.Value{}, err
+			}
+			if !ok {
+				continue
+			}
+			cf, err := c.copyValue(f, depth+1)
+			if err != nil {
+				return reflect.Value{}, err
+			}
+			dst, ok, err := fieldForWrite(out, i, c.Access)
+			if err != nil {
+				return reflect.Value{}, err
+			}
+			if ok {
+				dst.Set(cf)
+			}
+		}
+		return out, nil
+
+	case reflect.Array:
+		out := reflect.New(v.Type()).Elem()
+		if !hasIdentityBearing(v.Type().Elem()) {
+			out.Set(launder(v))
+			return out, nil
+		}
+		for i := 0; i < v.Len(); i++ {
+			ce, err := c.copyValue(v.Index(i), depth+1)
+			if err != nil {
+				return reflect.Value{}, err
+			}
+			out.Index(i).Set(ce)
+		}
+		return out, nil
+
+	default:
+		// Scalars and strings: value semantics, a plain copy.
+		return launder(v), nil
+	}
+}

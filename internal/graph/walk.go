@@ -1,0 +1,241 @@
+package graph
+
+import (
+	"fmt"
+	"reflect"
+)
+
+// Walker performs a depth-first reachability traversal, recording every
+// identity-bearing object it encounters into a LinearMap. A Walker may be
+// driven incrementally: Preseed registers objects without visiting their
+// contents (used by the restore phase to pin the IDs of pre-call objects),
+// Root visits a new root value, and EnsureContents forces the contents of a
+// preseeded object to be explored.
+type Walker struct {
+	// Access selects the struct-field access mode.
+	Access AccessMode
+
+	lm   *LinearMap
+	done map[Ident]bool
+}
+
+// NewWalker returns a Walker with an empty linear map.
+func NewWalker(mode AccessMode) *Walker {
+	return &Walker{
+		Access: mode,
+		lm:     NewLinearMap(),
+		done:   make(map[Ident]bool),
+	}
+}
+
+// LinearMap returns the map built so far. The map is live: further Root
+// calls extend it.
+func (w *Walker) LinearMap() *LinearMap { return w.lm }
+
+// Root traverses v, adding every reachable object to the linear map.
+func (w *Walker) Root(v any) error {
+	if v == nil {
+		return nil
+	}
+	return w.RootValue(reflect.ValueOf(v))
+}
+
+// RootValue is Root for callers that already hold a reflect.Value.
+func (w *Walker) RootValue(v reflect.Value) error {
+	return w.visit(v, 0)
+}
+
+// Preseed registers ref (a pointer, map, or slice value) in the linear map
+// without visiting its contents. Preseeding an already-registered identity
+// is a no-op. The contents can be explored later via EnsureContents or by a
+// Root traversal that reaches the object.
+func (w *Walker) Preseed(ref reflect.Value) error {
+	if !isIdentityKind(ref.Kind()) {
+		return fmt.Errorf("graph: Preseed requires ptr, map, or slice, got %s", ref.Kind())
+	}
+	if ref.IsNil() {
+		return nil
+	}
+	_, _, err := w.lm.Add(ref)
+	return err
+}
+
+// EnsureContents traverses the contents of obj if they have not been
+// visited yet. It is used after a remote call to sweep objects that became
+// unreachable from the parameters but must still be restored (paper,
+// Section 3, step 3: "even if they have become unreachable").
+func (w *Walker) EnsureContents(obj *Object) error {
+	id := identOf(obj.Ref)
+	if w.done[id] {
+		return nil
+	}
+	w.done[id] = true
+	return w.visitContents(obj.Ref, 0)
+}
+
+// visit dispatches on the kind of v, registering identity-bearing objects
+// and recursing into their contents exactly once per object.
+func (w *Walker) visit(v reflect.Value, depth int) error {
+	if depth > maxDepth {
+		return ErrDepthExceeded
+	}
+	if !v.IsValid() {
+		return nil
+	}
+	k := v.Kind()
+	if forbiddenKind(k) {
+		return fmt.Errorf("%w: %s", ErrNotSerializable, v.Type())
+	}
+	switch k {
+	case reflect.Ptr, reflect.Map, reflect.Slice:
+		if v.IsNil() {
+			return nil
+		}
+		if _, _, err := w.lm.Add(v); err != nil {
+			return err
+		}
+		id := identOf(v)
+		if w.done[id] {
+			return nil
+		}
+		w.done[id] = true
+		return w.visitContents(v, depth)
+
+	case reflect.Interface:
+		if v.IsNil() {
+			return nil
+		}
+		return w.visit(v.Elem(), depth+1)
+
+	case reflect.Struct:
+		sv := launder(v)
+		for i := 0; i < sv.NumField(); i++ {
+			f, ok, err := fieldForRead(sv, i, w.Access)
+			if err != nil {
+				return err
+			}
+			if !ok {
+				continue
+			}
+			if err := w.visit(f, depth+1); err != nil {
+				return err
+			}
+		}
+		return nil
+
+	case reflect.Array:
+		if !hasIdentityBearing(v.Type().Elem()) {
+			return checkLeafType(v.Type().Elem())
+		}
+		for i := 0; i < v.Len(); i++ {
+			if err := w.visit(v.Index(i), depth+1); err != nil {
+				return err
+			}
+		}
+		return nil
+
+	case reflect.Bool,
+		reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64,
+		reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64,
+		reflect.Float32, reflect.Float64,
+		reflect.Complex64, reflect.Complex128,
+		reflect.String:
+		return nil
+
+	default:
+		return fmt.Errorf("%w: unsupported kind %s", ErrNotSerializable, k)
+	}
+}
+
+// visitContents recurses into the pointee, elements, or entries of an
+// identity-bearing object.
+func (w *Walker) visitContents(v reflect.Value, depth int) error {
+	switch v.Kind() {
+	case reflect.Ptr:
+		return w.visit(v.Elem(), depth+1)
+	case reflect.Slice:
+		et := v.Type().Elem()
+		if !hasIdentityBearing(et) {
+			return checkLeafType(et)
+		}
+		for i := 0; i < v.Len(); i++ {
+			if err := w.visit(v.Index(i), depth+1); err != nil {
+				return err
+			}
+		}
+		return nil
+	case reflect.Map:
+		iter := v.MapRange()
+		for iter.Next() {
+			if err := w.visit(iter.Key(), depth+1); err != nil {
+				return err
+			}
+			if err := w.visit(iter.Value(), depth+1); err != nil {
+				return err
+			}
+		}
+		return nil
+	default:
+		panic(fmt.Sprintf("graph: visitContents on %s", v.Kind()))
+	}
+}
+
+// Walk traverses all roots and returns the resulting linear map. It is the
+// one-shot convenience over Walker.
+func Walk(mode AccessMode, roots ...any) (*LinearMap, error) {
+	w := NewWalker(mode)
+	for _, r := range roots {
+		if err := w.Root(r); err != nil {
+			return nil, err
+		}
+	}
+	return w.LinearMap(), nil
+}
+
+// identityCache memoizes hasIdentityBearing per type. Traversals over large
+// homogeneous slices (benchmark trees) query the same types repeatedly.
+var identityCache typeBoolCache
+
+// hasIdentityBearing reports whether values of type t can contain (directly
+// or transitively, by value) pointers, maps, slices, or interfaces — i.e.,
+// whether element-wise traversal of a container of t can discover objects.
+func hasIdentityBearing(t reflect.Type) bool {
+	if v, ok := identityCache.load(t); ok {
+		return v
+	}
+	res := computeHasIdentity(t, make(map[reflect.Type]bool))
+	identityCache.store(t, res)
+	return res
+}
+
+func computeHasIdentity(t reflect.Type, inProgress map[reflect.Type]bool) bool {
+	if inProgress[t] {
+		return false // cycle through value types is impossible; be safe
+	}
+	inProgress[t] = true
+	defer delete(inProgress, t)
+	switch t.Kind() {
+	case reflect.Ptr, reflect.Map, reflect.Slice, reflect.Interface,
+		reflect.Chan, reflect.Func, reflect.UnsafePointer:
+		return true
+	case reflect.Array:
+		return computeHasIdentity(t.Elem(), inProgress)
+	case reflect.Struct:
+		for i := 0; i < t.NumField(); i++ {
+			if computeHasIdentity(t.Field(i).Type, inProgress) {
+				return true
+			}
+		}
+		return false
+	default:
+		return false
+	}
+}
+
+// checkLeafType verifies that a pure-value element type is serializable.
+func checkLeafType(t reflect.Type) error {
+	if forbiddenKind(t.Kind()) {
+		return fmt.Errorf("%w: %s", ErrNotSerializable, t)
+	}
+	return nil
+}

@@ -1,0 +1,253 @@
+// Package netsim provides the reproduction's stand-in for the paper's
+// physical testbed (Section 5.3.3: a SunBlade 1000 and an Ultra 10 joined
+// by a 100 Mbps network): an in-process network whose links impose
+// configurable latency and bandwidth costs, plus per-host CPU-speed factors
+// and byte/message accounting.
+//
+// The model charges two costs per message, matching what dominates
+// middleware benchmarks: a fixed one-way latency per message and a
+// serialization delay proportional to message size. The transport layer
+// writes exactly one frame per message, so per-Write charging equals
+// per-message charging.
+//
+// Everything also works over real TCP; netsim exists so experiments are
+// reproducible on one machine and so the harness can report bytes-on-wire
+// and round-trip counts, which are hardware-independent observables.
+package netsim
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Profile describes one directional link's characteristics.
+type Profile struct {
+	// Latency is the one-way, per-message delivery delay.
+	Latency time.Duration
+	// Bandwidth is the link throughput in bytes per second; 0 means
+	// unlimited.
+	Bandwidth int64
+}
+
+// Delay returns the time to deliver a message of n bytes.
+func (p Profile) Delay(n int) time.Duration {
+	d := p.Latency
+	if p.Bandwidth > 0 {
+		d += time.Duration(int64(n) * int64(time.Second) / p.Bandwidth)
+	}
+	return d
+}
+
+// LAN100Mbps approximates the paper's experimental network: 100 Mbps
+// effective bandwidth with a LAN-class per-message latency.
+func LAN100Mbps() Profile {
+	return Profile{Latency: 150 * time.Microsecond, Bandwidth: 100_000_000 / 8}
+}
+
+// Loopback is an unshaped link for "same machine" baselines (the paper's
+// Table 3 configuration).
+func Loopback() Profile { return Profile{} }
+
+// Host models one machine's processing speed relative to the reference
+// host. The paper's fast machine (750 MHz) is the reference; its slow
+// machine (440 MHz) corresponds to a factor of roughly 1.7.
+type Host struct {
+	// Name identifies the host in metrics.
+	Name string
+	// CPUFactor scales processing time; 1.0 is the reference host, larger
+	// is slower. Values below 1 are treated as 1.
+	CPUFactor float64
+}
+
+// Charge blocks for the extra time a workload that took elapsed on the
+// reference host would need on this host. The middleware layers call it
+// around serialization work so that "slow machine" columns exercise the
+// same code paths with honestly scaled costs.
+func (h Host) Charge(elapsed time.Duration) {
+	if h.CPUFactor <= 1 {
+		return
+	}
+	extra := time.Duration(float64(elapsed) * (h.CPUFactor - 1))
+	if extra > 0 {
+		time.Sleep(extra)
+	}
+}
+
+// Stats aggregates traffic accounting for a network or a single conn.
+type Stats struct {
+	// BytesSent counts payload bytes written, both directions combined for
+	// the network, per direction for a conn.
+	BytesSent int64
+	// Messages counts Write calls (one frame per message by contract).
+	Messages int64
+}
+
+// Network is an in-process network: named listen points joined by shaped
+// pipes. The zero value is not usable; call NewNetwork.
+type Network struct {
+	profile Profile
+
+	mu        sync.Mutex
+	listeners map[string]*listener
+	closed    bool
+
+	bytes    atomic.Int64
+	messages atomic.Int64
+}
+
+// NewNetwork returns a network whose links all use the given profile.
+func NewNetwork(profile Profile) *Network {
+	return &Network{
+		profile:   profile,
+		listeners: make(map[string]*listener),
+	}
+}
+
+// Stats returns cumulative traffic over all links.
+func (n *Network) Stats() Stats {
+	return Stats{BytesSent: n.bytes.Load(), Messages: n.messages.Load()}
+}
+
+// ResetStats zeroes the traffic counters.
+func (n *Network) ResetStats() {
+	n.bytes.Store(0)
+	n.messages.Store(0)
+}
+
+// Errors reported by the simulated network.
+var (
+	// ErrAddrInUse is reported when a listen point name is taken.
+	ErrAddrInUse = errors.New("netsim: address already in use")
+	// ErrConnRefused is reported when dialing an address nobody listens on.
+	ErrConnRefused = errors.New("netsim: connection refused")
+	// ErrClosed is reported after Close.
+	ErrClosed = errors.New("netsim: use of closed network")
+)
+
+// Listen creates a listen point under the given name.
+func (n *Network) Listen(addr string) (net.Listener, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.closed {
+		return nil, ErrClosed
+	}
+	if _, ok := n.listeners[addr]; ok {
+		return nil, fmt.Errorf("%w: %s", ErrAddrInUse, addr)
+	}
+	l := &listener{
+		net:    n,
+		addr:   addr,
+		accept: make(chan net.Conn),
+		done:   make(chan struct{}),
+	}
+	n.listeners[addr] = l
+	return l, nil
+}
+
+// Dial connects to a listen point.
+func (n *Network) Dial(addr string) (net.Conn, error) {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return nil, ErrClosed
+	}
+	l, ok := n.listeners[addr]
+	n.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrConnRefused, addr)
+	}
+	client, server := net.Pipe()
+	cc := &shapedConn{Conn: client, net: n, profile: n.profile}
+	sc := &shapedConn{Conn: server, net: n, profile: n.profile}
+	select {
+	case l.accept <- sc:
+		return cc, nil
+	case <-l.done:
+		return nil, fmt.Errorf("%w: %s", ErrConnRefused, addr)
+	}
+}
+
+// Close shuts the network down; existing conns keep working until closed
+// individually.
+func (n *Network) Close() error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.closed {
+		return nil
+	}
+	n.closed = true
+	for _, l := range n.listeners {
+		l.closeLocked()
+	}
+	n.listeners = make(map[string]*listener)
+	return nil
+}
+
+type listener struct {
+	net    *Network
+	addr   string
+	accept chan net.Conn
+
+	once sync.Once
+	done chan struct{}
+}
+
+func (l *listener) Accept() (net.Conn, error) {
+	select {
+	case c := <-l.accept:
+		return c, nil
+	case <-l.done:
+		return nil, ErrClosed
+	}
+}
+
+func (l *listener) Close() error {
+	l.net.mu.Lock()
+	defer l.net.mu.Unlock()
+	l.closeLocked()
+	if l.net.listeners[l.addr] == l {
+		delete(l.net.listeners, l.addr)
+	}
+	return nil
+}
+
+func (l *listener) closeLocked() {
+	l.once.Do(func() { close(l.done) })
+}
+
+func (l *listener) Addr() net.Addr { return simAddr(l.addr) }
+
+type simAddr string
+
+func (a simAddr) Network() string { return "netsim" }
+func (a simAddr) String() string  { return string(a) }
+
+// shapedConn delays each Write by the link's delivery cost for the message
+// size and records traffic. By the transport contract, one Write is one
+// message.
+type shapedConn struct {
+	net.Conn
+	net     *Network
+	profile Profile
+}
+
+func (c *shapedConn) Write(p []byte) (int, error) {
+	if d := c.profile.Delay(len(p)); d > 0 {
+		time.Sleep(d)
+	}
+	// Count before writing: a synchronous pipe can schedule the reader's
+	// continuation (and a Stats observer) before this goroutine resumes.
+	if len(p) > 0 {
+		c.net.bytes.Add(int64(len(p)))
+		c.net.messages.Add(1)
+	}
+	n, err := c.Conn.Write(p)
+	if err != nil && n < len(p) {
+		c.net.bytes.Add(int64(n - len(p)))
+	}
+	return n, err
+}

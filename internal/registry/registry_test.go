@@ -1,0 +1,186 @@
+package registry
+
+import (
+	"context"
+	"errors"
+	"net"
+	"reflect"
+	"testing"
+
+	"nrmi/internal/netsim"
+	"nrmi/internal/transport"
+)
+
+func startRegistry(t *testing.T) *Client {
+	t.Helper()
+	n := netsim.NewNetwork(netsim.Loopback())
+	t.Cleanup(func() { n.Close() })
+	ln, err := n.Listen("registry")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServer()
+	srv.Serve(ln)
+	t.Cleanup(func() { srv.Close() })
+	nc, err := n.Dial("registry")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewClient(transport.NewConn(nc))
+	t.Cleanup(func() { c.Close() })
+	return c
+}
+
+func TestBindLookup(t *testing.T) {
+	c := startRegistry(t)
+	ctx := context.Background()
+	e := Entry{Name: "translator", Addr: "host-b", Object: "Translator"}
+	if err := c.Bind(ctx, e); err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.Lookup(ctx, "translator")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != e {
+		t.Fatalf("lookup = %+v, want %+v", got, e)
+	}
+}
+
+func TestBindDuplicateFails(t *testing.T) {
+	c := startRegistry(t)
+	ctx := context.Background()
+	e := Entry{Name: "svc", Addr: "a", Object: "O"}
+	if err := c.Bind(ctx, e); err != nil {
+		t.Fatal(err)
+	}
+	err := c.Bind(ctx, Entry{Name: "svc", Addr: "b", Object: "P"})
+	if !errors.Is(err, ErrAlreadyBound) {
+		t.Fatalf("want ErrAlreadyBound across the wire, got %v", err)
+	}
+	// The original binding must be intact.
+	got, err := c.Lookup(ctx, "svc")
+	if err != nil || got != e {
+		t.Fatalf("binding clobbered: %+v, %v", got, err)
+	}
+}
+
+func TestRebindReplaces(t *testing.T) {
+	c := startRegistry(t)
+	ctx := context.Background()
+	if err := c.Bind(ctx, Entry{Name: "svc", Addr: "a", Object: "O"}); err != nil {
+		t.Fatal(err)
+	}
+	e2 := Entry{Name: "svc", Addr: "b", Object: "P"}
+	if err := c.Rebind(ctx, e2); err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.Lookup(ctx, "svc")
+	if err != nil || got != e2 {
+		t.Fatalf("rebind lost: %+v, %v", got, err)
+	}
+}
+
+func TestLookupMissing(t *testing.T) {
+	c := startRegistry(t)
+	_, err := c.Lookup(context.Background(), "ghost")
+	if !errors.Is(err, ErrNotBound) {
+		t.Fatalf("want ErrNotBound, got %v", err)
+	}
+}
+
+func TestUnbind(t *testing.T) {
+	c := startRegistry(t)
+	ctx := context.Background()
+	if err := c.Bind(ctx, Entry{Name: "svc", Addr: "a", Object: "O"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Unbind(ctx, "svc"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Lookup(ctx, "svc"); !errors.Is(err, ErrNotBound) {
+		t.Fatalf("want ErrNotBound after unbind, got %v", err)
+	}
+	if err := c.Unbind(ctx, "svc"); !errors.Is(err, ErrNotBound) {
+		t.Fatalf("double unbind: want ErrNotBound, got %v", err)
+	}
+}
+
+func TestListSorted(t *testing.T) {
+	c := startRegistry(t)
+	ctx := context.Background()
+	for _, name := range []string{"zeta", "alpha", "mid"} {
+		if err := c.Bind(ctx, Entry{Name: name, Addr: "a", Object: "O"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := c.List(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"alpha", "mid", "zeta"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("list = %v, want %v", got, want)
+	}
+}
+
+func TestListEmpty(t *testing.T) {
+	c := startRegistry(t)
+	got, err := c.List(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("empty registry listed %v", got)
+	}
+}
+
+func TestEmptyStringsSurvive(t *testing.T) {
+	c := startRegistry(t)
+	ctx := context.Background()
+	e := Entry{Name: "n", Addr: "", Object: ""}
+	if err := c.Bind(ctx, e); err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.Lookup(ctx, "n")
+	if err != nil || got != e {
+		t.Fatalf("got %+v, %v", got, err)
+	}
+}
+
+func TestMalformedPayloadRejected(t *testing.T) {
+	s := NewServer()
+	if _, err := s.Handle(nil); !errors.Is(err, ErrBadRequest) {
+		t.Fatalf("empty payload: want ErrBadRequest, got %v", err)
+	}
+	if _, err := s.Handle([]byte{99}); !errors.Is(err, ErrBadRequest) {
+		t.Fatalf("unknown op: want ErrBadRequest, got %v", err)
+	}
+	if _, err := s.Handle([]byte{opLookup, 0xFF}); !errors.Is(err, ErrBadRequest) {
+		t.Fatalf("truncated string: want ErrBadRequest, got %v", err)
+	}
+}
+
+func TestDialHelper(t *testing.T) {
+	n := netsim.NewNetwork(netsim.Loopback())
+	defer n.Close()
+	ln, err := n.Listen("reg")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServer()
+	srv.Serve(ln)
+	defer srv.Close()
+	c, err := Dial(func() (net.Conn, error) { return n.Dial("reg") })
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.Bind(context.Background(), Entry{Name: "x", Addr: "a", Object: "o"}); err != nil {
+		t.Fatal(err)
+	}
+	// Dial failure propagates.
+	if _, err := Dial(func() (net.Conn, error) { return nil, errors.New("nope") }); err == nil {
+		t.Fatal("dial error must propagate")
+	}
+}

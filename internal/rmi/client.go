@@ -1,0 +1,282 @@
+package rmi
+
+import (
+	"bytes"
+	"context"
+	"encoding/binary"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"nrmi/internal/core"
+	"nrmi/internal/registry"
+	"nrmi/internal/transport"
+)
+
+// Dialer opens a connection to a named endpoint. netsim.Network.Dial and a
+// closure over net.Dial both satisfy it.
+type Dialer func(addr string) (net.Conn, error)
+
+// Client issues remote invocations. It pools one transport connection per
+// server address and is safe for concurrent use.
+type Client struct {
+	opts   Options
+	dialer Dialer
+
+	mu    sync.Mutex
+	conns map[string]*transport.Conn
+
+	// local is the client's own server, required for exporting Remote
+	// arguments (callbacks) and for resolving references to local objects.
+	local *Server
+}
+
+// NewClient returns a client using dialer to reach servers.
+func NewClient(dialer Dialer, opts Options) (*Client, error) {
+	if err := registerProtocolTypes(opts.registryOf()); err != nil {
+		return nil, err
+	}
+	return &Client{opts: opts, dialer: dialer, conns: make(map[string]*transport.Conn)}, nil
+}
+
+// BindLocalServer attaches the client's own server, enabling Remote
+// arguments (the callee receives references back into this process).
+func (c *Client) BindLocalServer(s *Server) { c.local = s }
+
+// conn returns the pooled connection to addr, dialing on first use. A
+// pooled connection found dead is evicted and replaced before any request
+// is sent, so transient server restarts do not permanently poison the
+// pool; calls that fail mid-flight still surface their error (retrying a
+// possibly executed call would silently break at-most-once semantics).
+func (c *Client) conn(addr string) (*transport.Conn, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if tc, ok := c.conns[addr]; ok {
+		if !tc.IsClosed() {
+			return tc, nil
+		}
+		_ = tc.Close()
+		delete(c.conns, addr)
+	}
+	nc, err := c.dialer(addr)
+	if err != nil {
+		return nil, err
+	}
+	tc := transport.NewConn(nc)
+	if c.opts.Compress {
+		tc.EnableCompression()
+	}
+	c.conns[addr] = tc
+	return tc, nil
+}
+
+// Close releases all pooled connections.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var first error
+	for addr, tc := range c.conns {
+		if err := tc.Close(); err != nil && first == nil {
+			first = err
+		}
+		delete(c.conns, addr)
+	}
+	return first
+}
+
+// Registry returns a naming-service client talking to addr over the pooled
+// connection.
+func (c *Client) Registry(addr string) (*registry.Client, error) {
+	tc, err := c.conn(addr)
+	if err != nil {
+		return nil, err
+	}
+	return registry.NewClient(tc), nil
+}
+
+// Stub addresses one exported object on one server.
+type Stub struct {
+	c      *Client
+	addr   string
+	object string
+}
+
+// Stub returns a stub for the named export on the server at addr.
+func (c *Client) Stub(addr, object string) *Stub {
+	return &Stub{c: c, addr: addr, object: object}
+}
+
+// RefStub returns a stub for a remote reference, used to invoke methods on
+// anonymously exported objects (the call-by-reference access path).
+func (c *Client) RefStub(ref *RemoteRef) *Stub {
+	return &Stub{c: c, addr: ref.Addr, object: ref.objectKey()}
+}
+
+// LookupStub resolves name through the naming service at regAddr and
+// returns a stub for the bound object.
+func (c *Client) LookupStub(ctx context.Context, regAddr, name string) (*Stub, error) {
+	reg, err := c.Registry(regAddr)
+	if err != nil {
+		return nil, err
+	}
+	e, err := reg.Lookup(ctx, name)
+	if err != nil {
+		return nil, err
+	}
+	return c.Stub(e.Addr, e.Object), nil
+}
+
+// Call invokes method with args and returns the remote results. Calling
+// semantics per argument follow the type rules in the package comment.
+func (st *Stub) Call(ctx context.Context, method string, args ...any) ([]any, error) {
+	resp, err := st.CallStats(ctx, method, args...)
+	if err != nil {
+		return nil, err
+	}
+	return resp.Returns, nil
+}
+
+// CallStats is Call, additionally exposing restore statistics and byte
+// counts for the experiment harness.
+func (st *Stub) CallStats(ctx context.Context, method string, args ...any) (*core.Response, error) {
+	if ic := st.c.opts.Intercept; ic != nil {
+		var resp *core.Response
+		info := CallInfo{Addr: st.addr, Object: st.object, Method: method, ArgCount: len(args)}
+		err := ic(ctx, info, func(ctx context.Context) error {
+			var err error
+			resp, err = st.callStats(ctx, method, args...)
+			return err
+		})
+		if err != nil {
+			return nil, err
+		}
+		if resp == nil {
+			return nil, fmt.Errorf("rmi: interceptor for %s skipped the call without error", method)
+		}
+		return resp, nil
+	}
+	return st.callStats(ctx, method, args...)
+}
+
+// callStats performs the actual invocation.
+func (st *Stub) callStats(ctx context.Context, method string, args ...any) (*core.Response, error) {
+	c := st.c
+	marshalStart := time.Now()
+	var req bytes.Buffer
+	call := core.NewCall(&req, c.opts.Core)
+	if err := call.EncodeString(st.object); err != nil {
+		return nil, err
+	}
+	if err := call.EncodeString(method); err != nil {
+		return nil, err
+	}
+	if err := call.EncodeUint(uint64(len(args))); err != nil {
+		return nil, err
+	}
+	for i, arg := range args {
+		if err := c.encodeArg(call, arg); err != nil {
+			return nil, fmt.Errorf("rmi: argument %d of %s: %w", i, method, err)
+		}
+	}
+	if err := call.Finish(); err != nil {
+		return nil, err
+	}
+	c.opts.Host.Charge(time.Since(marshalStart))
+
+	tc, err := c.conn(st.addr)
+	if err != nil {
+		return nil, err
+	}
+	payload, err := tc.Call(ctx, transport.MsgCall, req.Bytes())
+	if err != nil {
+		return nil, err
+	}
+
+	unmarshalStart := time.Now()
+	resp, err := call.ApplyResponse(bytes.NewReader(payload))
+	if err != nil {
+		return nil, err
+	}
+	c.opts.Host.Charge(time.Since(unmarshalStart))
+	return resp, nil
+}
+
+// encodeArg writes one argument with its semantics marker.
+func (c *Client) encodeArg(call *core.Call, arg any) error {
+	switch x := arg.(type) {
+	case *RemoteRef:
+		if err := call.EncodeUint(uint64(semRef)); err != nil {
+			return err
+		}
+		return call.EncodeCopy(x)
+	case RefHolder:
+		if err := call.EncodeUint(uint64(semRef)); err != nil {
+			return err
+		}
+		return call.EncodeCopy(x.NRMIRef())
+	case Remote:
+		if c.local == nil {
+			return ErrNoLocalServer
+		}
+		ref, err := c.local.Ref(x)
+		if err != nil {
+			return err
+		}
+		if err := call.EncodeUint(uint64(semRef)); err != nil {
+			return err
+		}
+		return call.EncodeCopy(ref)
+	case Restorable:
+		if err := call.EncodeUint(uint64(semRestore)); err != nil {
+			return err
+		}
+		return call.EncodeRestorable(x)
+	default:
+		if err := call.EncodeUint(uint64(semCopy)); err != nil {
+			return err
+		}
+		return call.EncodeCopy(arg)
+	}
+}
+
+// Release sends a DGC clean message for ref, dropping one count on the
+// exporting server. Stubs call it when the application is done with a
+// reference.
+func (c *Client) Release(ctx context.Context, ref *RemoteRef) error {
+	var buf bytes.Buffer
+	buf.WriteByte(dgcClean)
+	var tmp [binary.MaxVarintLen64]byte
+	buf.Write(tmp[:binary.PutUvarint(tmp[:], ref.ID)])
+	tc, err := c.conn(ref.Addr)
+	if err != nil {
+		return err
+	}
+	_, err = tc.Call(ctx, transport.MsgDGC, buf.Bytes())
+	return err
+}
+
+// Renew refreshes the lease on ref for the given duration.
+func (c *Client) Renew(ctx context.Context, ref *RemoteRef, lease time.Duration) error {
+	var buf bytes.Buffer
+	buf.WriteByte(dgcDirty)
+	var tmp [binary.MaxVarintLen64]byte
+	buf.Write(tmp[:binary.PutUvarint(tmp[:], ref.ID)])
+	buf.Write(tmp[:binary.PutUvarint(tmp[:], uint64(lease/time.Second))])
+	tc, err := c.conn(ref.Addr)
+	if err != nil {
+		return err
+	}
+	_, err = tc.Call(ctx, transport.MsgDGC, buf.Bytes())
+	return err
+}
+
+// Ping round-trips a liveness probe to addr.
+func (c *Client) Ping(ctx context.Context, addr string) error {
+	tc, err := c.conn(addr)
+	if err != nil {
+		return err
+	}
+	_, err = tc.Call(ctx, transport.MsgPing, []byte("ping"))
+	return err
+}

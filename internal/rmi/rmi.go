@@ -1,0 +1,152 @@
+// Package rmi implements NRMI's RPC layer: the Go analog of Java RMI with
+// the paper's copy-restore extension wired in. It provides object export
+// and reflective dispatch (UnicastRemoteObject + skeletons), client stubs,
+// per-type calling-semantics selection, remote references with
+// reference-counting distributed garbage collection, and an embeddable
+// naming service.
+//
+// Calling semantics are chosen per argument type, exactly as in NRMI
+// (paper, Section 5.1):
+//
+//   - types implementing Restorable are passed by copy-restore: everything
+//     reachable from the argument is restored on the caller after the call;
+//   - types implementing Remote (or values that already are remote
+//     references) are passed by reference: the receiver gets a RemoteRef
+//     and every subsequent access is a network round trip (the paper's
+//     Figure 3 configuration);
+//   - everything else serializable is passed by copy, like java.io.
+//     Serializable under RMI;
+//   - primitives are passed by value.
+//
+// Return values are passed by copy, except values implementing Remote
+// (exported and returned by reference) and RefHolder (forwarded as the
+// reference they wrap).
+package rmi
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"nrmi/internal/core"
+	"nrmi/internal/netsim"
+	"nrmi/internal/wire"
+)
+
+// Restorable marks types passed by copy-restore, the analog of the paper's
+// java.rmi.Restorable marker interface. Implementations are typically
+// pointer, named-map, or named-slice types; everything reachable from a
+// restorable argument participates in the restore.
+type Restorable interface {
+	// NRMIRestorable is a marker method; its body is never called.
+	NRMIRestorable()
+}
+
+// Remote marks types passed by remote reference, the analog of
+// java.rmi.server.UnicastRemoteObject. Arguments and return values of
+// Remote types are exported by their home server and travel as RemoteRef
+// descriptors.
+type Remote interface {
+	// NRMIRemote is a marker method; its body is never called.
+	NRMIRemote()
+}
+
+// RefHolder is implemented by application-side proxies that wrap a
+// RemoteRef (stubs). When a RefHolder crosses the wire it is replaced by
+// the reference it holds, so proxies forward rather than re-export.
+type RefHolder interface {
+	// NRMIRef returns the wrapped remote reference.
+	NRMIRef() *RemoteRef
+}
+
+// RemoteRef is the wire descriptor of a remotely accessible object: the
+// "remote pointer" of the paper's Figure 3.
+type RemoteRef struct {
+	// Addr is the exporting server's network address.
+	Addr string
+	// ID is the object's export id on that server. Named exports use
+	// Name instead.
+	ID uint64
+	// Name is the exported name for registry-published objects; empty for
+	// anonymous per-object references.
+	Name string
+	// TypeName is the wire name of the referenced object's type, for
+	// diagnostics and proxy construction.
+	TypeName string
+}
+
+// objectKey returns the dispatch key a reference resolves to.
+func (r *RemoteRef) objectKey() string {
+	if r.Name != "" {
+		return r.Name
+	}
+	return fmt.Sprintf("#%d", r.ID)
+}
+
+// Errors reported by the RPC layer.
+var (
+	// ErrNoSuchObject is reported when dispatching to an unknown export.
+	ErrNoSuchObject = errors.New("rmi: no such exported object")
+	// ErrNoSuchMethod is reported when the target has no such exported
+	// method.
+	ErrNoSuchMethod = errors.New("rmi: no such method")
+	// ErrBadArgument is reported when a decoded argument cannot be passed
+	// to the method's parameter.
+	ErrBadArgument = errors.New("rmi: argument type mismatch")
+	// ErrNoLocalServer is reported when a Remote argument is passed by a
+	// client with no local server to export it from.
+	ErrNoLocalServer = errors.New("rmi: Remote argument requires a local server")
+	// ErrServerClosed is reported after Server.Close.
+	ErrServerClosed = errors.New("rmi: server closed")
+)
+
+// Options configures servers and clients.
+type Options struct {
+	// Core configures the copy-restore engine and wire codec.
+	Core core.Options
+	// Host models this endpoint's processing speed (netsim CPU factor).
+	Host netsim.Host
+	// WrapRef, when set, converts inbound remote references into
+	// application proxies before method dispatch (e.g. a tree-node stub
+	// implementing the application's node interface). When nil, methods
+	// receive the raw *RemoteRef.
+	WrapRef func(ref *RemoteRef, c *Client) (any, error)
+	// Compress enables DEFLATE compression of outbound frames above 1 KiB.
+	// Receivers inflate transparently, so endpoints may enable it
+	// independently.
+	Compress bool
+	// Intercept, when set, wraps every invocation on this endpoint:
+	// outbound calls on a client, inbound dispatches on a server. The
+	// interceptor may inspect the call, enrich the context, veto the call
+	// by returning without invoking next, or wrap errors. Compose multiple
+	// concerns by nesting inside one function.
+	Intercept Interceptor
+}
+
+// CallInfo identifies one invocation for interceptors.
+type CallInfo struct {
+	// Addr is the remote server's address (empty on the server side).
+	Addr string
+	// Object is the dispatch key (export name or "#id").
+	Object string
+	// Method is the remote method name.
+	Method string
+	// ArgCount is the number of arguments.
+	ArgCount int
+}
+
+// Interceptor wraps an invocation; call next to proceed.
+type Interceptor func(ctx context.Context, info CallInfo, next func(ctx context.Context) error) error
+
+// registryOf returns the effective wire registry.
+func (o Options) registryOf() *wire.Registry {
+	if o.Core.Registry != nil {
+		return o.Core.Registry
+	}
+	return wire.DefaultRegistry()
+}
+
+// registerProtocolTypes installs the types the rmi protocol itself ships.
+func registerProtocolTypes(reg *wire.Registry) error {
+	return reg.Register("nrmi.RemoteRef", RemoteRef{})
+}

@@ -1,0 +1,60 @@
+package rmi
+
+import (
+	"context"
+	"sync"
+	"testing"
+)
+
+// RacyCounter is deliberately NOT thread-safe: only ExportSerialized makes
+// it safe to call concurrently.
+type RacyCounter struct {
+	N int
+}
+
+// Bump increments without any synchronization.
+func (c *RacyCounter) Bump() int {
+	n := c.N
+	// Widen the race window: reload after a function call boundary.
+	c.N = n + 1
+	return c.N
+}
+
+func TestExportSerializedSerializesCalls(t *testing.T) {
+	e := newEnv(t)
+	counter := &RacyCounter{}
+	if err := e.server.ExportSerialized("counter", counter); err != nil {
+		t.Fatal(err)
+	}
+	const goroutines = 8
+	const perG = 25
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			stub := e.client.Stub("server", "counter")
+			for i := 0; i < perG; i++ {
+				if _, err := stub.Call(context.Background(), "Bump"); err != nil {
+					t.Errorf("bump: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if counter.N != goroutines*perG {
+		t.Fatalf("lost updates: %d, want %d", counter.N, goroutines*perG)
+	}
+}
+
+func TestUnexportClearsSerialization(t *testing.T) {
+	e := newEnv(t)
+	if err := e.server.ExportSerialized("counter", &RacyCounter{}); err != nil {
+		t.Fatal(err)
+	}
+	e.server.Unexport("counter")
+	if lock := e.server.serializedLock("counter"); lock != nil {
+		t.Fatal("unexport must drop the serialization lock")
+	}
+}

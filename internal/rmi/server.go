@@ -1,0 +1,647 @@
+package rmi
+
+import (
+	"bytes"
+	"context"
+	"encoding/binary"
+	"fmt"
+	"net"
+	"reflect"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"nrmi/internal/core"
+	"nrmi/internal/graph"
+	"nrmi/internal/registry"
+	"nrmi/internal/transport"
+)
+
+// defaultLease is how long an anonymous export stays alive without a
+// renewal, mirroring java.rmi.dgc.leaseValue (10 minutes).
+const defaultLease = 10 * time.Minute
+
+// Server exports objects and dispatches remote invocations to them.
+type Server struct {
+	opts Options
+	addr string
+
+	mu      sync.Mutex
+	exports map[string]reflect.Value
+	// serialized holds per-export mutexes for ExportSerialized objects.
+	serialized map[string]*sync.Mutex
+	refs       map[uint64]*refEntry
+	refIdent   map[graph.Ident]uint64
+	nextRef    uint64
+	closed     bool
+
+	// sweeper state for the background lease collector.
+	sweepStop chan struct{}
+
+	metrics serverMetrics
+
+	methodCache sync.Map // reflect.Type -> map[string]reflect.Method
+
+	// boundClient, when set, is handed to the WrapRef hook so inbound
+	// reference proxies can issue calls back out of this process.
+	boundClient *Client
+
+	embeddedReg *registry.Server
+	tsrv        *transport.Server
+}
+
+// refEntry is one anonymous export with its DGC state.
+type refEntry struct {
+	val    reflect.Value
+	count  int
+	expiry time.Time
+}
+
+// NewServer returns a server that will identify itself to peers under
+// addr (the address clients dial). Registering the protocol types on the
+// configured wire registry happens here.
+func NewServer(addr string, opts Options) (*Server, error) {
+	if err := registerProtocolTypes(opts.registryOf()); err != nil {
+		return nil, err
+	}
+	return &Server{
+		opts:       opts,
+		addr:       addr,
+		exports:    make(map[string]reflect.Value),
+		serialized: make(map[string]*sync.Mutex),
+		refs:       make(map[uint64]*refEntry),
+		refIdent:   make(map[graph.Ident]uint64),
+	}, nil
+}
+
+// Addr returns the address this server identifies itself under.
+func (s *Server) Addr() string { return s.addr }
+
+// BindClient attaches the client handed to the WrapRef hook, so proxies
+// constructed for inbound references can call back out of this process.
+func (s *Server) BindClient(c *Client) { s.boundClient = c }
+
+// EnableRegistry embeds a naming service into this server: registry
+// operations arriving on its listener are answered locally, the way demos
+// run rmiregistry inside the server JVM.
+func (s *Server) EnableRegistry() *registry.Server {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.embeddedReg == nil {
+		s.embeddedReg = registry.NewServer()
+	}
+	return s.embeddedReg
+}
+
+// Export publishes obj under name. Methods with exported names become
+// remotely callable. Exporting replaces any previous binding of the name.
+func (s *Server) Export(name string, obj any) error {
+	if obj == nil {
+		return fmt.Errorf("rmi: Export(%q) with nil object", name)
+	}
+	if name == "" || name[0] == '#' {
+		return fmt.Errorf("rmi: invalid export name %q", name)
+	}
+	v := reflect.ValueOf(obj)
+	if v.Kind() != reflect.Ptr || v.IsNil() {
+		return fmt.Errorf("rmi: exported object must be a non-nil pointer, got %T", obj)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrServerClosed
+	}
+	s.exports[name] = v
+	return nil
+}
+
+// ExportSerialized publishes obj like Export, but additionally serializes
+// its invocations: at most one method of this export runs at a time.
+// Plain exports follow RMI's contract — the runtime makes no
+// synchronization guarantees and the object must be thread-safe itself;
+// ExportSerialized trades throughput for not having to be.
+func (s *Server) ExportSerialized(name string, obj any) error {
+	if err := s.Export(name, obj); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.serialized[name] = &sync.Mutex{}
+	return nil
+}
+
+// Unexport removes a named export.
+func (s *Server) Unexport(name string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.exports, name)
+	delete(s.serialized, name)
+}
+
+// Ref exports obj anonymously (or bumps its reference count if already
+// exported) and returns the descriptor to ship to peers. It is the
+// marshaling path for Remote arguments and return values, and increments
+// the DGC count exactly once per descriptor produced.
+func (s *Server) Ref(obj any) (*RemoteRef, error) {
+	if obj == nil {
+		return nil, fmt.Errorf("rmi: Ref(nil)")
+	}
+	v := reflect.ValueOf(obj)
+	if v.Kind() != reflect.Ptr || v.IsNil() {
+		return nil, fmt.Errorf("rmi: remote-referenced object must be a non-nil pointer, got %T", obj)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, ErrServerClosed
+	}
+	ident, _ := graph.IdentOf(v)
+	id, ok := s.refIdent[ident]
+	if !ok {
+		s.nextRef++
+		id = s.nextRef
+		s.refIdent[ident] = id
+		s.refs[id] = &refEntry{val: v}
+	}
+	e := s.refs[id]
+	e.count++
+	e.expiry = time.Now().Add(defaultLease)
+	typeName := v.Type().Elem().String()
+	if n, err := s.opts.registryOf().NameOf(v.Type().Elem()); err == nil {
+		typeName = n
+	}
+	return &RemoteRef{Addr: s.addr, ID: id, TypeName: typeName}, nil
+}
+
+// ResolveRef returns the live object behind one of this server's own
+// anonymous exports, implementing RMI's local unwrapping of references that
+// come back home.
+func (s *Server) ResolveRef(id uint64) (any, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.refs[id]
+	if !ok {
+		return nil, false
+	}
+	return e.val.Interface(), true
+}
+
+// LiveRefs returns the number of anonymously exported objects still pinned
+// by remote references — the observable the paper's distributed-cycle leak
+// grows without bound (Section 5.3.3, last bullet).
+func (s *Server) LiveRefs() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.refs)
+}
+
+// clean decrements an export's reference count, dropping the export when it
+// reaches zero.
+func (s *Server) clean(id uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.refs[id]
+	if !ok {
+		return
+	}
+	e.count--
+	if e.count <= 0 {
+		s.dropRefLocked(id, e)
+	}
+}
+
+// dirty refreshes an export's lease.
+func (s *Server) dirty(id uint64, lease time.Duration) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if e, ok := s.refs[id]; ok {
+		e.expiry = time.Now().Add(lease)
+	}
+}
+
+func (s *Server) dropRefLocked(id uint64, e *refEntry) {
+	delete(s.refs, id)
+	if ident, ok := graph.IdentOf(e.val); ok {
+		delete(s.refIdent, ident)
+	}
+}
+
+// SweepLeases drops exports whose leases expired, the recovery path for
+// crashed clients. It returns how many exports were collected.
+func (s *Server) SweepLeases(now time.Time) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	collected := 0
+	for id, e := range s.refs {
+		if e.expiry.Before(now) {
+			s.dropRefLocked(id, e)
+			collected++
+		}
+	}
+	return collected
+}
+
+// StartLeaseSweeper launches a background goroutine sweeping expired
+// leases every interval, the analog of RMI's DGC daemon. It stops when the
+// server closes; starting twice is a no-op.
+func (s *Server) StartLeaseSweeper(interval time.Duration) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed || s.sweepStop != nil {
+		return
+	}
+	stop := make(chan struct{})
+	s.sweepStop = stop
+	go func() {
+		ticker := time.NewTicker(interval)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-ticker.C:
+				s.SweepLeases(time.Now())
+			case <-stop:
+				return
+			}
+		}
+	}()
+}
+
+// Metrics is a snapshot of a server's request counters.
+type Metrics struct {
+	// CallsServed counts completed method invocations, successful or not.
+	CallsServed int64
+	// CallErrors counts invocations that returned an error to the caller.
+	CallErrors int64
+	// BytesIn and BytesOut count request and reply payload bytes.
+	BytesIn, BytesOut int64
+	// ObjectsRestored counts content records shipped in restore sections.
+	ObjectsRestored int64
+}
+
+// serverMetrics is the live counter set.
+type serverMetrics struct {
+	calls    atomic.Int64
+	errors   atomic.Int64
+	bytesIn  atomic.Int64
+	bytesOut atomic.Int64
+	restored atomic.Int64
+}
+
+// Metrics returns a snapshot of the server's counters.
+func (s *Server) Metrics() Metrics {
+	return Metrics{
+		CallsServed:     s.metrics.calls.Load(),
+		CallErrors:      s.metrics.errors.Load(),
+		BytesIn:         s.metrics.bytesIn.Load(),
+		BytesOut:        s.metrics.bytesOut.Load(),
+		ObjectsRestored: s.metrics.restored.Load(),
+	}
+}
+
+// Serve starts answering requests on ln. Call Close to stop.
+func (s *Server) Serve(ln net.Listener) {
+	s.tsrv = transport.Serve(ln, s.handle)
+	if s.opts.Compress {
+		s.tsrv.EnableCompression()
+	}
+}
+
+// Close stops serving and the lease sweeper.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	s.closed = true
+	if s.sweepStop != nil {
+		close(s.sweepStop)
+		s.sweepStop = nil
+	}
+	s.mu.Unlock()
+	if s.tsrv == nil {
+		return nil
+	}
+	return s.tsrv.Close()
+}
+
+// handle dispatches one transport frame.
+func (s *Server) handle(msgType byte, payload []byte) (out []byte, err error) {
+	start := time.Now()
+	defer func() {
+		// Model this host's CPU speed: a slower machine takes
+		// proportionally longer for the same middleware processing.
+		s.opts.Host.Charge(time.Since(start))
+	}()
+	switch msgType {
+	case transport.MsgCall:
+		s.metrics.calls.Add(1)
+		s.metrics.bytesIn.Add(int64(len(payload)))
+		reply, err := s.handleCall(payload)
+		if err != nil {
+			s.metrics.errors.Add(1)
+		}
+		s.metrics.bytesOut.Add(int64(len(reply)))
+		return reply, err
+	case transport.MsgDGC:
+		return s.handleDGC(payload)
+	case transport.MsgRegistry:
+		s.mu.Lock()
+		reg := s.embeddedReg
+		s.mu.Unlock()
+		if reg == nil {
+			return nil, fmt.Errorf("rmi: server has no embedded registry")
+		}
+		return reg.Handle(payload)
+	case transport.MsgPing:
+		return payload, nil
+	default:
+		return nil, fmt.Errorf("rmi: unknown message type %d", msgType)
+	}
+}
+
+// resolveTarget maps a dispatch key ("name" or "#id") to the target object.
+func (s *Server) resolveTarget(key string) (reflect.Value, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(key) > 0 && key[0] == '#' {
+		var id uint64
+		if _, err := fmt.Sscanf(key, "#%d", &id); err != nil {
+			return reflect.Value{}, fmt.Errorf("%w: bad reference key %q", ErrNoSuchObject, key)
+		}
+		e, ok := s.refs[id]
+		if !ok {
+			return reflect.Value{}, fmt.Errorf("%w: reference %s (collected?)", ErrNoSuchObject, key)
+		}
+		return e.val, nil
+	}
+	v, ok := s.exports[key]
+	if !ok {
+		return reflect.Value{}, fmt.Errorf("%w: %q", ErrNoSuchObject, key)
+	}
+	return v, nil
+}
+
+// methodByName resolves an exported method on the target's type, caching
+// the per-type method table (the paper's "caching reflection information
+// aggressively", Section 5.3.1).
+func (s *Server) methodByName(t reflect.Type, name string) (reflect.Method, error) {
+	tbl, ok := s.methodCache.Load(t)
+	if !ok {
+		m := make(map[string]reflect.Method, t.NumMethod())
+		for i := 0; i < t.NumMethod(); i++ {
+			meth := t.Method(i)
+			if meth.IsExported() {
+				m[meth.Name] = meth
+			}
+		}
+		tbl, _ = s.methodCache.LoadOrStore(t, m)
+	}
+	m, ok := tbl.(map[string]reflect.Method)[name]
+	if !ok {
+		return reflect.Method{}, fmt.Errorf("%w: %s.%s", ErrNoSuchMethod, t, name)
+	}
+	return m, nil
+}
+
+var errType = reflect.TypeOf((*error)(nil)).Elem()
+
+// handleCall implements the invocation protocol: decode target and
+// arguments, fix the restore set, invoke, encode restore response.
+func (s *Server) handleCall(payload []byte) (out []byte, err error) {
+	sc := core.AcceptCall(bytes.NewReader(payload), s.opts.Core)
+	objKey, err := sc.DecodeString()
+	if err != nil {
+		return nil, fmt.Errorf("rmi: reading object key: %w", err)
+	}
+	methodName, err := sc.DecodeString()
+	if err != nil {
+		return nil, fmt.Errorf("rmi: reading method name: %w", err)
+	}
+	target, err := s.resolveTarget(objKey)
+	if err != nil {
+		return nil, err
+	}
+	method, err := s.methodByName(target.Type(), methodName)
+	if err != nil {
+		return nil, err
+	}
+	nargs, err := sc.DecodeUint()
+	if err != nil {
+		return nil, fmt.Errorf("rmi: reading argument count: %w", err)
+	}
+	mt := method.Type // includes receiver at index 0
+	if mt.IsVariadic() {
+		return nil, fmt.Errorf("%w: %s is variadic; variadic remote methods are not supported", ErrBadArgument, methodName)
+	}
+	if int(nargs) != mt.NumIn()-1 {
+		return nil, fmt.Errorf("%w: %s takes %d arguments, got %d",
+			ErrBadArgument, methodName, mt.NumIn()-1, nargs)
+	}
+	in := make([]reflect.Value, 0, nargs+1)
+	in = append(in, target)
+	for i := 0; i < int(nargs); i++ {
+		sem, err := sc.DecodeUint()
+		if err != nil {
+			return nil, fmt.Errorf("rmi: reading semantics marker: %w", err)
+		}
+		var raw any
+		switch semantics(sem) {
+		case semCopy:
+			raw, err = sc.DecodeCopy()
+		case semRestore:
+			raw, err = sc.DecodeRestorable()
+		case semRef:
+			raw, err = sc.DecodeCopy()
+			if err == nil {
+				raw, err = s.inboundRef(raw)
+			}
+		default:
+			err = fmt.Errorf("rmi: unknown semantics marker %d", sem)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("rmi: decoding argument %d: %w", i, err)
+		}
+		av, err := convertArg(raw, mt.In(i+1))
+		if err != nil {
+			return nil, fmt.Errorf("rmi: argument %d of %s: %w", i, methodName, err)
+		}
+		in = append(in, av)
+	}
+	// Fix the pre-call object set before the method body runs (paper,
+	// Section 3, step 1 on the server side).
+	if err := sc.Prepare(); err != nil {
+		return nil, err
+	}
+
+	if lock := s.serializedLock(objKey); lock != nil {
+		lock.Lock()
+		defer lock.Unlock()
+	}
+	var outs []reflect.Value
+	doInvoke := func(context.Context) error {
+		var err error
+		outs, err = s.invoke(method, in)
+		return err
+	}
+	if ic := s.opts.Intercept; ic != nil {
+		info := CallInfo{Object: objKey, Method: methodName, ArgCount: int(nargs)}
+		if err := ic(context.Background(), info, doInvoke); err != nil {
+			return nil, err
+		}
+		if outs == nil && method.Type.NumOut() > numErrOuts(method.Type) {
+			return nil, fmt.Errorf("rmi: interceptor for %s skipped the call without error", methodName)
+		}
+	} else if err := doInvoke(context.Background()); err != nil {
+		return nil, err
+	}
+	rets, err := s.outboundResults(outs)
+	if err != nil {
+		return nil, err
+	}
+	var respBuf bytes.Buffer
+	stats, err := sc.EncodeResponse(&respBuf, rets)
+	if err != nil {
+		return nil, err
+	}
+	s.metrics.restored.Add(int64(stats.OldSent))
+	return respBuf.Bytes(), nil
+}
+
+// serializedLock returns the per-export mutex, or nil for plain exports.
+func (s *Server) serializedLock(name string) *sync.Mutex {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.serialized[name]
+}
+
+// numErrOuts counts the trailing error result (0 or 1).
+func numErrOuts(mt reflect.Type) int {
+	if n := mt.NumOut(); n > 0 && mt.Out(n-1) == errType {
+		return 1
+	}
+	return 0
+}
+
+// invoke calls the method, converting panics and trailing error results
+// into remote errors.
+func (s *Server) invoke(method reflect.Method, in []reflect.Value) (outs []reflect.Value, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("rmi: remote method panicked: %v", r)
+		}
+	}()
+	outs = method.Func.Call(in)
+	mt := method.Type
+	if n := mt.NumOut(); n > 0 && mt.Out(n-1) == errType {
+		if e := outs[n-1]; !e.IsNil() {
+			return nil, e.Interface().(error)
+		}
+		outs = outs[:n-1]
+	}
+	return outs, nil
+}
+
+// inboundRef converts a decoded *RemoteRef argument: references to objects
+// this server exported resolve to the live local objects (RMI's local
+// unwrapping); foreign references go through the WrapRef hook or arrive
+// raw.
+func (s *Server) inboundRef(raw any) (any, error) {
+	ref, ok := raw.(*RemoteRef)
+	if !ok {
+		if raw == nil {
+			return nil, nil
+		}
+		return nil, fmt.Errorf("%w: by-reference argument is %T, not *RemoteRef", ErrBadArgument, raw)
+	}
+	if ref.Addr == s.addr {
+		target, err := s.resolveTarget(ref.objectKey())
+		if err != nil {
+			return nil, err
+		}
+		return target.Interface(), nil
+	}
+	if s.opts.WrapRef != nil {
+		return s.opts.WrapRef(ref, s.boundClient)
+	}
+	return ref, nil
+}
+
+// outboundResults converts method results for the wire: Remote values are
+// exported and replaced by references; RefHolder proxies forward the
+// references they wrap.
+func (s *Server) outboundResults(outs []reflect.Value) ([]any, error) {
+	rets := make([]any, 0, len(outs))
+	for _, o := range outs {
+		v := o.Interface()
+		switch x := v.(type) {
+		case RefHolder:
+			rets = append(rets, x.NRMIRef())
+		case Remote:
+			ref, err := s.Ref(x)
+			if err != nil {
+				return nil, err
+			}
+			rets = append(rets, ref)
+		default:
+			rets = append(rets, v)
+		}
+	}
+	return rets, nil
+}
+
+// handleDGC processes dirty/clean messages: op byte, then uvarint id, and
+// for dirty a uvarint lease in seconds.
+func (s *Server) handleDGC(payload []byte) ([]byte, error) {
+	r := bytes.NewReader(payload)
+	op, err := r.ReadByte()
+	if err != nil {
+		return nil, fmt.Errorf("rmi: empty DGC payload")
+	}
+	id, err := binary.ReadUvarint(r)
+	if err != nil {
+		return nil, fmt.Errorf("rmi: bad DGC id: %v", err)
+	}
+	switch op {
+	case dgcClean:
+		s.clean(id)
+		return nil, nil
+	case dgcDirty:
+		secs, err := binary.ReadUvarint(r)
+		if err != nil {
+			return nil, fmt.Errorf("rmi: bad DGC lease: %v", err)
+		}
+		s.dirty(id, time.Duration(secs)*time.Second)
+		return nil, nil
+	default:
+		return nil, fmt.Errorf("rmi: unknown DGC op %d", op)
+	}
+}
+
+// DGC operation bytes.
+const (
+	dgcDirty byte = 1
+	dgcClean byte = 2
+)
+
+// semantics markers on the wire.
+type semantics uint64
+
+const (
+	semCopy    semantics = 0
+	semRestore semantics = 1
+	semRef     semantics = 2
+)
+
+// convertArg adapts a decoded value to a method parameter type.
+func convertArg(v any, pt reflect.Type) (reflect.Value, error) {
+	if v == nil {
+		switch pt.Kind() {
+		case reflect.Ptr, reflect.Map, reflect.Slice, reflect.Interface, reflect.Chan, reflect.Func:
+			return reflect.Zero(pt), nil
+		default:
+			return reflect.Value{}, fmt.Errorf("%w: nil for non-nilable %s", ErrBadArgument, pt)
+		}
+	}
+	rv := reflect.ValueOf(v)
+	if rv.Type().AssignableTo(pt) {
+		return rv, nil
+	}
+	return reflect.Value{}, fmt.Errorf("%w: have %s, want %s", ErrBadArgument, rv.Type(), pt)
+}

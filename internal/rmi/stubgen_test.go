@@ -1,0 +1,127 @@
+package rmi
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+)
+
+// treesStub is the typed client-side view of TreeService.
+type treesStub struct {
+	Foo   func(ctx context.Context, t *RTree) error
+	Sum   func(t *CTree) (int, error) // no ctx: background used
+	Div   func(ctx context.Context, a, b int) (int, error)
+	Touch func(ctx context.Context, t *RTree) (*RTree, error)
+}
+
+func TestBindStructTypedCalls(t *testing.T) {
+	e := newEnv(t)
+	var stub treesStub
+	if err := e.client.BindStruct("server", "trees", &stub); err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+
+	// Copy-restore through a typed stub.
+	root, a1, _, _, _ := paperRTree()
+	if err := stub.Foo(ctx, root); err != nil {
+		t.Fatal(err)
+	}
+	if a1.Data != 0 || root.Left != nil {
+		t.Fatal("typed stub must still restore")
+	}
+
+	// Plain results.
+	n, err := stub.Sum(&CTree{Data: 2, Left: &CTree{Data: 3}})
+	if err != nil || n != 5 {
+		t.Fatalf("Sum = %d, %v", n, err)
+	}
+	q, err := stub.Div(ctx, 10, 2)
+	if err != nil || q != 5 {
+		t.Fatalf("Div = %d, %v", q, err)
+	}
+
+	// Remote errors through the trailing error.
+	if _, err := stub.Div(ctx, 1, 0); err == nil || !strings.Contains(err.Error(), "division by zero") {
+		t.Fatalf("Div error: %v", err)
+	}
+
+	// Identity-preserving returns.
+	root2, _, a2, _, _ := paperRTree()
+	got, err := stub.Touch(ctx, root2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != a2 {
+		t.Fatal("typed stub must preserve returned-old-object identity")
+	}
+}
+
+func TestBindStructContextPropagates(t *testing.T) {
+	e := newEnv(t)
+	block := make(chan struct{})
+	t.Cleanup(func() { close(block) })
+	if err := e.server.Export("slow", &slowService{block: block}); err != nil {
+		t.Fatal(err)
+	}
+	var stub struct {
+		Hang func(ctx context.Context) error
+	}
+	if err := e.client.BindStruct("server", "slow", &stub); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	if err := stub.Hang(ctx); err == nil {
+		t.Fatal("context timeout must propagate through typed stubs")
+	}
+}
+
+func TestBindStructValidation(t *testing.T) {
+	e := newEnv(t)
+	if err := e.client.BindStruct("server", "trees", nil); err == nil {
+		t.Fatal("nil target must fail")
+	}
+	if err := e.client.BindStruct("server", "trees", treesStub{}); err == nil {
+		t.Fatal("non-pointer target must fail")
+	}
+	var empty struct{ X int }
+	if err := e.client.BindStruct("server", "trees", &empty); err == nil {
+		t.Fatal("no func fields must fail")
+	}
+	var noErr struct {
+		Foo func(t *RTree)
+	}
+	if err := e.client.BindStruct("server", "trees", &noErr); err == nil ||
+		!strings.Contains(err.Error(), "last result must be error") {
+		t.Fatalf("missing error result: %v", err)
+	}
+	var variadic struct {
+		Foo func(xs ...int) error
+	}
+	if err := e.client.BindStruct("server", "trees", &variadic); err == nil ||
+		!strings.Contains(err.Error(), "variadic") {
+		t.Fatalf("variadic field: %v", err)
+	}
+	var hidden struct {
+		ok func() error //nolint:unused
+	}
+	if err := e.client.BindStruct("server", "trees", &hidden); err == nil {
+		t.Fatal("unexported func field must fail")
+	}
+}
+
+func TestBindStructResultArityMismatch(t *testing.T) {
+	e := newEnv(t)
+	var stub struct {
+		// Calls method Calls (returns int) but declares two results.
+		Calls func() (int, string, error)
+	}
+	if err := e.client.BindStruct("server", "trees", &stub); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := stub.Calls(); err == nil || !strings.Contains(err.Error(), "stub expects") {
+		t.Fatalf("arity mismatch must surface: %v", err)
+	}
+}

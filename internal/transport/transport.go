@@ -1,0 +1,416 @@
+// Package transport implements NRMI's message layer: a framed, multiplexed
+// request/response protocol over any net.Conn (real TCP, loopback, or a
+// netsim shaped pipe). It corresponds to the connection-management layer of
+// Java RMI's JRMP.
+//
+// Frame layout (big-endian):
+//
+//	magic   u16  0x4E52 ("NR")
+//	type    u8   message type, caller-defined
+//	flags   u8   0x01 = this frame is an error reply
+//	reqID   u64  request correlation id
+//	length  u32  payload byte count
+//	payload []byte
+//
+// Each frame is written with a single Write call, which is the contract the
+// netsim package relies on for per-message latency accounting.
+package transport
+
+import (
+	"bytes"
+	"compress/flate"
+	"context"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+)
+
+// Message types used across the NRMI stack. The transport treats them as
+// opaque; they are centralized here to keep the protocol in one place.
+const (
+	// MsgCall is a remote method invocation request.
+	MsgCall byte = 1
+	// MsgReply is a successful invocation reply.
+	MsgReply byte = 2
+	// MsgRegistry is a naming-service operation.
+	MsgRegistry byte = 3
+	// MsgDGC is a distributed garbage collection message (dirty/clean).
+	MsgDGC byte = 4
+	// MsgFieldGet reads a field of a remotely referenced object.
+	MsgFieldGet byte = 5
+	// MsgFieldSet writes a field of a remotely referenced object.
+	MsgFieldSet byte = 6
+	// MsgPing is a liveness probe.
+	MsgPing byte = 7
+)
+
+const (
+	frameMagic   = 0x4E52
+	headerSize   = 2 + 1 + 1 + 8 + 4
+	flagError    = 0x01
+	flagDeflate  = 0x02
+	maxFrameSize = 64 << 20
+
+	// compressThreshold is the payload size above which frames are
+	// DEFLATE-compressed when compression is enabled on the writer side.
+	// Small frames gain nothing and pay latency.
+	compressThreshold = 1 << 10
+)
+
+// Errors reported by the transport.
+var (
+	// ErrClosed is reported when using a closed conn or server.
+	ErrClosed = errors.New("transport: connection closed")
+	// ErrBadFrame is reported for malformed frames.
+	ErrBadFrame = errors.New("transport: malformed frame")
+	// ErrFrameTooLarge guards the frame size limit.
+	ErrFrameTooLarge = errors.New("transport: frame exceeds size limit")
+)
+
+// RemoteError carries an error string returned by the peer, preserving the
+// paper's position that remote exceptions must stay visible to programmers
+// (Section 6.2, the Waldo et al. discussion).
+type RemoteError struct {
+	// Msg is the peer-reported error text.
+	Msg string
+}
+
+// Error implements the error interface.
+func (e *RemoteError) Error() string { return "remote: " + e.Msg }
+
+// frame is one decoded protocol frame.
+type frame struct {
+	msgType byte
+	flags   byte
+	reqID   uint64
+	payload []byte
+}
+
+// writeFrame assembles and writes a frame with a single Write. With
+// compress, payloads above the threshold are DEFLATE-compressed and
+// flagged; receivers transparently inflate, so compression is a pure
+// sender-side choice per connection.
+func writeFrame(w io.Writer, f frame, compress bool) error {
+	if compress && len(f.payload) > compressThreshold {
+		var cbuf bytes.Buffer
+		fw, err := flate.NewWriter(&cbuf, flate.BestSpeed)
+		if err != nil {
+			return err
+		}
+		if _, err := fw.Write(f.payload); err != nil {
+			return err
+		}
+		if err := fw.Close(); err != nil {
+			return err
+		}
+		if cbuf.Len() < len(f.payload) {
+			f.payload = cbuf.Bytes()
+			f.flags |= flagDeflate
+		}
+	}
+	if len(f.payload) > maxFrameSize {
+		return fmt.Errorf("%w: %d bytes", ErrFrameTooLarge, len(f.payload))
+	}
+	buf := make([]byte, headerSize+len(f.payload))
+	binary.BigEndian.PutUint16(buf[0:2], frameMagic)
+	buf[2] = f.msgType
+	buf[3] = f.flags
+	binary.BigEndian.PutUint64(buf[4:12], f.reqID)
+	binary.BigEndian.PutUint32(buf[12:16], uint32(len(f.payload)))
+	copy(buf[headerSize:], f.payload)
+	_, err := w.Write(buf)
+	return err
+}
+
+// readFrame reads one frame.
+func readFrame(r io.Reader) (frame, error) {
+	var hdr [headerSize]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return frame{}, err
+	}
+	if binary.BigEndian.Uint16(hdr[0:2]) != frameMagic {
+		return frame{}, fmt.Errorf("%w: bad magic", ErrBadFrame)
+	}
+	length := binary.BigEndian.Uint32(hdr[12:16])
+	if length > maxFrameSize {
+		return frame{}, fmt.Errorf("%w: %d bytes", ErrFrameTooLarge, length)
+	}
+	payload := make([]byte, length)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return frame{}, err
+	}
+	flags := hdr[3]
+	if flags&flagDeflate != 0 {
+		fr := flate.NewReader(bytes.NewReader(payload))
+		inflated, err := io.ReadAll(io.LimitReader(fr, maxFrameSize+1))
+		if cerr := fr.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return frame{}, fmt.Errorf("%w: inflate: %v", ErrBadFrame, err)
+		}
+		if len(inflated) > maxFrameSize {
+			return frame{}, fmt.Errorf("%w: inflated payload", ErrFrameTooLarge)
+		}
+		payload = inflated
+		flags &^= flagDeflate
+	}
+	return frame{
+		msgType: hdr[2],
+		flags:   flags,
+		reqID:   binary.BigEndian.Uint64(hdr[4:12]),
+		payload: payload,
+	}, nil
+}
+
+// Conn is the client side of a transport connection: concurrent Call
+// invocations are multiplexed over one net.Conn and matched to replies by
+// request id.
+type Conn struct {
+	c        net.Conn
+	compress bool
+
+	writeMu sync.Mutex
+	nextID  atomic.Uint64
+
+	mu      sync.Mutex
+	pending map[uint64]chan frame
+	err     error
+	closed  bool
+}
+
+// NewConn wraps an established net.Conn as a client transport connection
+// and starts its read loop.
+func NewConn(c net.Conn) *Conn {
+	tc := &Conn{c: c, pending: make(map[uint64]chan frame)}
+	go tc.readLoop()
+	return tc
+}
+
+// EnableCompression turns on DEFLATE compression for outbound frames above
+// 1 KiB. Receivers inflate transparently, so either side may enable it
+// independently.
+func (c *Conn) EnableCompression() { c.compress = true }
+
+func (c *Conn) readLoop() {
+	for {
+		f, err := readFrame(c.c)
+		if err != nil {
+			c.failAll(err)
+			return
+		}
+		c.mu.Lock()
+		ch, ok := c.pending[f.reqID]
+		if ok {
+			delete(c.pending, f.reqID)
+		}
+		c.mu.Unlock()
+		if ok {
+			ch <- f
+		}
+		// Unmatched replies are dropped: the caller timed out and moved on.
+	}
+}
+
+func (c *Conn) failAll(err error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.err == nil {
+		c.err = err
+	}
+	for id, ch := range c.pending {
+		delete(c.pending, id)
+		close(ch)
+	}
+	c.closed = true
+}
+
+// IsClosed reports whether the connection has failed or been closed; a
+// closed conn never recovers, so callers should discard it and dial anew.
+func (c *Conn) IsClosed() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.closed
+}
+
+// Call sends one request frame and blocks for its reply (or ctx
+// expiration). An error-flagged reply surfaces as *RemoteError.
+func (c *Conn) Call(ctx context.Context, msgType byte, payload []byte) ([]byte, error) {
+	c.mu.Lock()
+	if c.closed {
+		err := c.err
+		c.mu.Unlock()
+		if err == nil {
+			err = ErrClosed
+		}
+		return nil, err
+	}
+	id := c.nextID.Add(1)
+	ch := make(chan frame, 1)
+	c.pending[id] = ch
+	c.mu.Unlock()
+
+	c.writeMu.Lock()
+	err := writeFrame(c.c, frame{msgType: msgType, reqID: id, payload: payload}, c.compress)
+	c.writeMu.Unlock()
+	if err != nil {
+		c.mu.Lock()
+		delete(c.pending, id)
+		c.mu.Unlock()
+		return nil, err
+	}
+
+	select {
+	case f, ok := <-ch:
+		if !ok {
+			c.mu.Lock()
+			err := c.err
+			c.mu.Unlock()
+			if err == nil {
+				err = ErrClosed
+			}
+			return nil, err
+		}
+		if f.flags&flagError != 0 {
+			return nil, &RemoteError{Msg: string(f.payload)}
+		}
+		return f.payload, nil
+	case <-ctx.Done():
+		c.mu.Lock()
+		delete(c.pending, id)
+		c.mu.Unlock()
+		return nil, ctx.Err()
+	}
+}
+
+// Close tears the connection down; in-flight calls fail with ErrClosed.
+func (c *Conn) Close() error {
+	err := c.c.Close()
+	c.failAll(ErrClosed)
+	return err
+}
+
+// Handler processes one inbound request and produces a reply payload.
+// Returning an error sends an error-flagged reply carrying err.Error().
+type Handler func(msgType byte, payload []byte) ([]byte, error)
+
+// Server accepts transport connections and dispatches frames to a Handler.
+// Each request runs in its own goroutine, like RMI's per-call threading.
+type Server struct {
+	ln       net.Listener
+	handler  Handler
+	compress bool
+
+	mu     sync.Mutex
+	conns  map[net.Conn]struct{}
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// Serve starts accepting connections on ln. It returns immediately; use
+// Close to stop.
+func Serve(ln net.Listener, h Handler) *Server {
+	s := &Server{ln: ln, handler: h, conns: make(map[net.Conn]struct{})}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s
+}
+
+// EnableCompression turns on DEFLATE compression for outbound replies
+// above 1 KiB. Call before traffic arrives.
+func (s *Server) EnableCompression() { s.compress = true }
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		c, err := s.ln.Accept()
+		if err != nil {
+			return
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			_ = c.Close()
+			return
+		}
+		s.conns[c] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go s.serveConn(c)
+	}
+}
+
+func (s *Server) serveConn(c net.Conn) {
+	defer s.wg.Done()
+	defer func() {
+		_ = c.Close()
+		s.mu.Lock()
+		delete(s.conns, c)
+		s.mu.Unlock()
+	}()
+	var writeMu sync.Mutex
+	var reqWG sync.WaitGroup
+	defer reqWG.Wait()
+	for {
+		f, err := readFrame(c)
+		if err != nil {
+			return
+		}
+		reqWG.Add(1)
+		go func(f frame) {
+			defer reqWG.Done()
+			reply, err := s.safeHandle(f.msgType, f.payload)
+			out := frame{msgType: MsgReply, reqID: f.reqID}
+			if err != nil {
+				out.flags = flagError
+				out.payload = []byte(err.Error())
+			} else {
+				out.payload = reply
+			}
+			writeMu.Lock()
+			_ = writeFrame(c, out, s.compress)
+			writeMu.Unlock()
+		}(f)
+	}
+}
+
+// safeHandle runs the handler, converting panics into error replies: one
+// hostile or buggy request must never take the whole server process down.
+func (s *Server) safeHandle(msgType byte, payload []byte) (reply []byte, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			reply = nil
+			err = fmt.Errorf("transport: handler panicked: %v", r)
+		}
+	}()
+	return s.handler(msgType, payload)
+}
+
+// Close stops accepting, closes all connections, and waits for in-flight
+// handlers to finish.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	conns := make([]net.Conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+	err := s.ln.Close()
+	for _, c := range conns {
+		_ = c.Close()
+	}
+	s.wg.Wait()
+	return err
+}
+
+// Addr returns the server's listen address.
+func (s *Server) Addr() net.Addr { return s.ln.Addr() }

@@ -1,0 +1,371 @@
+package transport
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"nrmi/internal/netsim"
+)
+
+// startPair spins up a server with the given handler on a loopback netsim
+// network and returns a connected client conn.
+func startPair(t *testing.T, h Handler) *Conn {
+	t.Helper()
+	n := netsim.NewNetwork(netsim.Loopback())
+	t.Cleanup(func() { n.Close() })
+	ln, err := n.Listen("srv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := Serve(ln, h)
+	t.Cleanup(func() { srv.Close() })
+	nc, err := n.Dial("srv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewConn(nc)
+	t.Cleanup(func() { c.Close() })
+	return c
+}
+
+func TestCallReply(t *testing.T) {
+	c := startPair(t, func(msgType byte, payload []byte) ([]byte, error) {
+		if msgType != MsgCall {
+			return nil, fmt.Errorf("unexpected type %d", msgType)
+		}
+		return append([]byte("echo:"), payload...), nil
+	})
+	got, err := c.Call(context.Background(), MsgCall, []byte("hi"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "echo:hi" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestRemoteErrorPropagation(t *testing.T) {
+	c := startPair(t, func(msgType byte, payload []byte) ([]byte, error) {
+		return nil, errors.New("kaboom")
+	})
+	_, err := c.Call(context.Background(), MsgCall, nil)
+	var re *RemoteError
+	if !errors.As(err, &re) {
+		t.Fatalf("want *RemoteError, got %v", err)
+	}
+	if !strings.Contains(re.Error(), "kaboom") {
+		t.Fatalf("message lost: %v", re)
+	}
+}
+
+func TestConcurrentCallsMultiplexed(t *testing.T) {
+	c := startPair(t, func(msgType byte, payload []byte) ([]byte, error) {
+		// Reverse replies arrive out of order relative to request order.
+		if len(payload) > 0 && payload[0] == 'a' {
+			time.Sleep(20 * time.Millisecond)
+		}
+		return payload, nil
+	})
+	var wg sync.WaitGroup
+	results := make([]string, 10)
+	for i := 0; i < 10; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			tag := fmt.Sprintf("%c%d", 'a'+byte(i%2), i)
+			got, err := c.Call(context.Background(), MsgCall, []byte(tag))
+			if err != nil {
+				t.Errorf("call %d: %v", i, err)
+				return
+			}
+			results[i] = string(got)
+		}(i)
+	}
+	wg.Wait()
+	for i, r := range results {
+		want := fmt.Sprintf("%c%d", 'a'+byte(i%2), i)
+		if r != want {
+			t.Fatalf("reply %d misrouted: got %q want %q", i, r, want)
+		}
+	}
+}
+
+func TestContextCancellation(t *testing.T) {
+	block := make(chan struct{})
+	c := startPair(t, func(msgType byte, payload []byte) ([]byte, error) {
+		<-block
+		return nil, nil
+	})
+	defer close(block)
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	_, err := c.Call(ctx, MsgCall, nil)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("want DeadlineExceeded, got %v", err)
+	}
+}
+
+func TestCallAfterClose(t *testing.T) {
+	c := startPair(t, func(msgType byte, payload []byte) ([]byte, error) {
+		return payload, nil
+	})
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	_, err := c.Call(context.Background(), MsgCall, nil)
+	if !errors.Is(err, ErrClosed) {
+		t.Fatalf("want ErrClosed, got %v", err)
+	}
+}
+
+func TestServerCloseFailsInFlight(t *testing.T) {
+	n := netsim.NewNetwork(netsim.Loopback())
+	defer n.Close()
+	ln, err := n.Listen("srv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	block := make(chan struct{})
+	srv := Serve(ln, func(msgType byte, payload []byte) ([]byte, error) {
+		close(block)
+		time.Sleep(10 * time.Millisecond)
+		return payload, nil
+	})
+	nc, err := n.Dial("srv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewConn(nc)
+	defer c.Close()
+	done := make(chan error, 1)
+	go func() {
+		_, err := c.Call(context.Background(), MsgCall, []byte("x"))
+		done <- err
+	}()
+	<-block
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-done:
+		// Either the reply raced through before close or the conn died:
+		// both are acceptable; what matters is we did not hang.
+	case <-time.After(2 * time.Second):
+		t.Fatal("call hung after server close")
+	}
+}
+
+func TestFrameEncodingRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	in := frame{msgType: MsgDGC, flags: flagError, reqID: 777, payload: []byte("payload")}
+	if err := writeFrame(&buf, in, false); err != nil {
+		t.Fatal(err)
+	}
+	out, err := readFrame(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.msgType != in.msgType || out.flags != in.flags || out.reqID != in.reqID || string(out.payload) != "payload" {
+		t.Fatalf("frame mangled: %+v", out)
+	}
+}
+
+func TestBadMagicRejected(t *testing.T) {
+	buf := make([]byte, headerSize)
+	buf[0] = 0xDE
+	buf[1] = 0xAD
+	_, err := readFrame(bytes.NewReader(buf))
+	if !errors.Is(err, ErrBadFrame) {
+		t.Fatalf("want ErrBadFrame, got %v", err)
+	}
+}
+
+func TestOversizeFrameRejected(t *testing.T) {
+	var buf bytes.Buffer
+	err := writeFrame(&buf, frame{payload: make([]byte, maxFrameSize+1)}, false)
+	if !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("write: want ErrFrameTooLarge, got %v", err)
+	}
+	// Hand-craft an oversize header.
+	hdr := make([]byte, headerSize)
+	hdr[0], hdr[1] = 0x4E, 0x52
+	hdr[12], hdr[13], hdr[14], hdr[15] = 0xFF, 0xFF, 0xFF, 0xFF
+	_, err = readFrame(bytes.NewReader(hdr))
+	if !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("read: want ErrFrameTooLarge, got %v", err)
+	}
+}
+
+func TestWorksOverRealTCP(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := Serve(ln, func(msgType byte, payload []byte) ([]byte, error) {
+		return append([]byte("tcp:"), payload...), nil
+	})
+	defer srv.Close()
+	nc, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewConn(nc)
+	defer c.Close()
+	got, err := c.Call(context.Background(), MsgCall, []byte("ok"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "tcp:ok" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestManySequentialCalls(t *testing.T) {
+	c := startPair(t, func(msgType byte, payload []byte) ([]byte, error) {
+		return payload, nil
+	})
+	for i := 0; i < 200; i++ {
+		msg := []byte(fmt.Sprintf("m%d", i))
+		got, err := c.Call(context.Background(), MsgCall, msg)
+		if err != nil {
+			t.Fatalf("call %d: %v", i, err)
+		}
+		if !bytes.Equal(got, msg) {
+			t.Fatalf("call %d: got %q", i, got)
+		}
+	}
+}
+
+func TestCompressionRoundTrip(t *testing.T) {
+	// Compressible payload above the threshold.
+	payload := bytes.Repeat([]byte("abcdef"), 1024)
+	var buf bytes.Buffer
+	if err := writeFrame(&buf, frame{msgType: MsgCall, reqID: 5, payload: payload}, true); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() >= headerSize+len(payload) {
+		t.Fatalf("frame not compressed: %d bytes on wire for %d payload", buf.Len(), len(payload))
+	}
+	out, err := readFrame(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(out.payload, payload) {
+		t.Fatal("payload mangled by compression round trip")
+	}
+	if out.flags&flagDeflate != 0 {
+		t.Fatal("deflate flag must be cleared after inflation")
+	}
+}
+
+func TestCompressionSkipsSmallAndIncompressible(t *testing.T) {
+	// Small frames stay raw.
+	var buf bytes.Buffer
+	small := []byte("tiny")
+	if err := writeFrame(&buf, frame{payload: small}, true); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() != headerSize+len(small) {
+		t.Fatalf("small frame should be raw: %d", buf.Len())
+	}
+	if _, err := readFrame(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// Incompressible payloads stay raw too (compressed >= original).
+	junk := make([]byte, 4096)
+	state := uint64(1)
+	for i := range junk {
+		state = state*6364136223846793005 + 1442695040888963407
+		junk[i] = byte(state >> 33)
+	}
+	buf.Reset()
+	if err := writeFrame(&buf, frame{payload: junk}, true); err != nil {
+		t.Fatal(err)
+	}
+	out, err := readFrame(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(out.payload, junk) {
+		t.Fatal("incompressible payload mangled")
+	}
+}
+
+func TestCompressionEndToEnd(t *testing.T) {
+	n := netsim.NewNetwork(netsim.Loopback())
+	defer n.Close()
+	ln, err := n.Listen("srv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := Serve(ln, func(mt byte, p []byte) ([]byte, error) { return p, nil })
+	srv.EnableCompression()
+	defer srv.Close()
+	nc, err := n.Dial("srv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewConn(nc)
+	c.EnableCompression()
+	defer c.Close()
+	payload := bytes.Repeat([]byte("copy-restore "), 512)
+	got, err := c.Call(context.Background(), MsgCall, payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatal("compressed echo mangled")
+	}
+	// Both directions were above threshold and compressible: far fewer
+	// bytes crossed the (accounted) network than 2x payload.
+	if st := n.Stats(); st.BytesSent >= int64(2*len(payload)) {
+		t.Fatalf("no compression observed: %d bytes for %d payload", st.BytesSent, len(payload))
+	}
+}
+
+func TestCorruptDeflatePayloadRejected(t *testing.T) {
+	var buf bytes.Buffer
+	hdr := make([]byte, headerSize)
+	hdr[0], hdr[1] = 0x4E, 0x52
+	hdr[3] = flagDeflate
+	junk := []byte{0xde, 0xad, 0xbe, 0xef}
+	putUint32(hdr[12:16], uint32(len(junk)))
+	buf.Write(hdr)
+	buf.Write(junk)
+	if _, err := readFrame(&buf); err == nil {
+		t.Fatal("corrupt deflate stream must fail")
+	}
+}
+
+func putUint32(b []byte, v uint32) {
+	b[0] = byte(v >> 24)
+	b[1] = byte(v >> 16)
+	b[2] = byte(v >> 8)
+	b[3] = byte(v)
+}
+
+func TestHandlerPanicBecomesErrorReply(t *testing.T) {
+	c := startPair(t, func(msgType byte, payload []byte) ([]byte, error) {
+		if string(payload) == "boom" {
+			panic("handler exploded")
+		}
+		return payload, nil
+	})
+	ctx := context.Background()
+	_, err := c.Call(ctx, MsgCall, []byte("boom"))
+	if err == nil || !strings.Contains(err.Error(), "handler panicked") {
+		t.Fatalf("panic must become an error reply: %v", err)
+	}
+	// The server survives and keeps serving.
+	got, err := c.Call(ctx, MsgCall, []byte("still alive"))
+	if err != nil || string(got) != "still alive" {
+		t.Fatalf("server died after panic: %v %q", err, got)
+	}
+}

@@ -1,0 +1,206 @@
+package wire
+
+import (
+	"fmt"
+	"reflect"
+)
+
+// Type-descriptor lead bytes. Values 1..26 are reflect.Kind numbers for
+// scalar kinds; the composite markers live above the kind range.
+const (
+	dPtr      byte = 200
+	dSlice    byte = 201
+	dMap      byte = 202
+	dArray    byte = 203
+	dNamed    byte = 204
+	dIface    byte = 205
+	dTableRef byte = 206 // V2 only: uvarint index into the stream type table
+	dTableDef byte = 207 // V2 only: define the next table entry, then body
+)
+
+// kindTypes maps scalar reflect.Kind values to their predeclared types for
+// structural decoding.
+var kindTypes = map[reflect.Kind]reflect.Type{
+	reflect.Bool:       reflect.TypeOf(false),
+	reflect.Int:        reflect.TypeOf(int(0)),
+	reflect.Int8:       reflect.TypeOf(int8(0)),
+	reflect.Int16:      reflect.TypeOf(int16(0)),
+	reflect.Int32:      reflect.TypeOf(int32(0)),
+	reflect.Int64:      reflect.TypeOf(int64(0)),
+	reflect.Uint:       reflect.TypeOf(uint(0)),
+	reflect.Uint8:      reflect.TypeOf(uint8(0)),
+	reflect.Uint16:     reflect.TypeOf(uint16(0)),
+	reflect.Uint32:     reflect.TypeOf(uint32(0)),
+	reflect.Uint64:     reflect.TypeOf(uint64(0)),
+	reflect.Float32:    reflect.TypeOf(float32(0)),
+	reflect.Float64:    reflect.TypeOf(float64(0)),
+	reflect.Complex64:  reflect.TypeOf(complex64(0)),
+	reflect.Complex128: reflect.TypeOf(complex128(0)),
+	reflect.String:     reflect.TypeOf(""),
+}
+
+var emptyIfaceType = reflect.TypeOf((*any)(nil)).Elem()
+
+// encodeType emits a descriptor for t. Under V2 every distinct type is
+// emitted structurally once and referenced by table index afterwards; under
+// V1 the full structural form (with type names spelled out) is emitted on
+// every occurrence — the paper's verbose-JDK-1.3 behaviour.
+func (e *Encoder) encodeType(t reflect.Type) error {
+	if e.opts.Engine == EngineV2 {
+		if idx, ok := e.typeTable[t]; ok {
+			if err := e.w.writeByte(dTableRef); err != nil {
+				return err
+			}
+			return e.w.writeUint(uint64(idx))
+		}
+		if err := e.w.writeByte(dTableDef); err != nil {
+			return err
+		}
+		e.typeTable[t] = len(e.typeTable)
+		return e.encodeTypeBody(t)
+	}
+	return e.encodeTypeBody(t)
+}
+
+func (e *Encoder) encodeTypeBody(t reflect.Type) error {
+	if name := canonicalName(t); name != "" {
+		wireName, err := e.opts.Registry.NameOf(t)
+		if err != nil {
+			return err
+		}
+		if err := e.w.writeByte(dNamed); err != nil {
+			return err
+		}
+		return e.w.writeString(wireName)
+	}
+	switch t.Kind() {
+	case reflect.Ptr:
+		if err := e.w.writeByte(dPtr); err != nil {
+			return err
+		}
+		return e.encodeType(t.Elem())
+	case reflect.Slice:
+		if err := e.w.writeByte(dSlice); err != nil {
+			return err
+		}
+		return e.encodeType(t.Elem())
+	case reflect.Map:
+		if err := e.w.writeByte(dMap); err != nil {
+			return err
+		}
+		if err := e.encodeType(t.Key()); err != nil {
+			return err
+		}
+		return e.encodeType(t.Elem())
+	case reflect.Array:
+		if err := e.w.writeByte(dArray); err != nil {
+			return err
+		}
+		if err := e.w.writeUint(uint64(t.Len())); err != nil {
+			return err
+		}
+		return e.encodeType(t.Elem())
+	case reflect.Interface:
+		if t.NumMethod() != 0 {
+			return fmt.Errorf("wire: unnamed non-empty interface type %s cannot cross the wire; name and register it", t)
+		}
+		return e.w.writeByte(dIface)
+	default:
+		if _, ok := kindTypes[t.Kind()]; !ok {
+			return fmt.Errorf("wire: type %s (kind %s) cannot cross the wire", t, t.Kind())
+		}
+		return e.w.writeByte(byte(t.Kind()))
+	}
+}
+
+// decodeType reads one type descriptor.
+func (d *Decoder) decodeType() (reflect.Type, error) {
+	b, err := d.r.readByte()
+	if err != nil {
+		return nil, err
+	}
+	switch b {
+	case dTableRef:
+		idx, err := d.r.readLen()
+		if err != nil {
+			return nil, err
+		}
+		if idx >= len(d.typeTable) || d.typeTable[idx] == nil {
+			return nil, fmt.Errorf("%w: type table index %d out of range", ErrBadStream, idx)
+		}
+		return d.typeTable[idx], nil
+	case dTableDef:
+		idx := len(d.typeTable)
+		d.typeTable = append(d.typeTable, nil)
+		t, err := d.decodeTypeBody()
+		if err != nil {
+			return nil, err
+		}
+		d.typeTable[idx] = t
+		return t, nil
+	default:
+		return d.decodeTypeBodyWithLead(b)
+	}
+}
+
+func (d *Decoder) decodeTypeBody() (reflect.Type, error) {
+	b, err := d.r.readByte()
+	if err != nil {
+		return nil, err
+	}
+	return d.decodeTypeBodyWithLead(b)
+}
+
+func (d *Decoder) decodeTypeBodyWithLead(b byte) (reflect.Type, error) {
+	switch b {
+	case dNamed:
+		name, err := d.r.readString()
+		if err != nil {
+			return nil, err
+		}
+		return d.opts.Registry.TypeByName(name)
+	case dPtr:
+		elem, err := d.decodeType()
+		if err != nil {
+			return nil, err
+		}
+		return reflect.PointerTo(elem), nil
+	case dSlice:
+		elem, err := d.decodeType()
+		if err != nil {
+			return nil, err
+		}
+		return reflect.SliceOf(elem), nil
+	case dMap:
+		key, err := d.decodeType()
+		if err != nil {
+			return nil, err
+		}
+		elem, err := d.decodeType()
+		if err != nil {
+			return nil, err
+		}
+		if !key.Comparable() {
+			return nil, fmt.Errorf("%w: map key type %s is not comparable", ErrBadStream, key)
+		}
+		return reflect.MapOf(key, elem), nil
+	case dArray:
+		n, err := d.r.readLen()
+		if err != nil {
+			return nil, err
+		}
+		elem, err := d.decodeType()
+		if err != nil {
+			return nil, err
+		}
+		return reflect.ArrayOf(n, elem), nil
+	case dIface:
+		return emptyIfaceType, nil
+	default:
+		k := reflect.Kind(b)
+		if t, ok := kindTypes[k]; ok {
+			return t, nil
+		}
+		return nil, fmt.Errorf("%w: unknown type descriptor byte 0x%02x", ErrBadStream, b)
+	}
+}

@@ -1,0 +1,404 @@
+package wire
+
+import (
+	"fmt"
+	"io"
+	"reflect"
+
+	"nrmi/internal/graph"
+)
+
+// Encoder serializes object graphs onto a stream. A single Encoder may emit
+// several values; aliasing is preserved across all of them (the paper's
+// answer to parameters that share structure, Section 4.1). The encoder's
+// object table, exposed via Objects, IS the linear map of the copy-restore
+// algorithm: objects in first-encounter (DFS) order.
+//
+// Encoders buffer under engine V2; callers must Flush when a message is
+// complete.
+type Encoder struct {
+	w          *writer
+	opts       Options
+	ids        map[graph.Ident]int
+	objs       []reflect.Value
+	typeTable  map[reflect.Type]int
+	strTable   map[string]int
+	headerDone bool
+}
+
+// NewEncoder returns an Encoder writing to w.
+func NewEncoder(w io.Writer, opts Options) *Encoder {
+	o := opts.withDefaults()
+	return &Encoder{
+		w:         newWriter(w, o.Engine),
+		opts:      o,
+		ids:       make(map[graph.Ident]int),
+		typeTable: make(map[reflect.Type]int),
+		strTable:  make(map[string]int),
+	}
+}
+
+// Objects returns the encoder's linear map: every identity-bearing object
+// serialized so far, in first-encounter order. Index == wire object ID.
+func (e *Encoder) Objects() []reflect.Value { return e.objs }
+
+// IDOf returns the object ID assigned to ref, if ref was serialized or
+// seeded by this encoder.
+func (e *Encoder) IDOf(ref reflect.Value) (int, bool) {
+	ident, ok := graph.IdentOf(ref)
+	if !ok {
+		return 0, false
+	}
+	id, ok := e.ids[ident]
+	return id, ok
+}
+
+// BytesWritten returns the number of payload bytes produced so far.
+func (e *Encoder) BytesWritten() int64 { return e.w.bytesWritten() }
+
+// Flush pushes buffered output to the underlying writer.
+func (e *Encoder) Flush() error { return e.w.flush() }
+
+// header emits the stream header exactly once.
+func (e *Encoder) header() error {
+	if e.headerDone {
+		return nil
+	}
+	e.headerDone = true
+	if err := e.w.writeByte(headerMagic); err != nil {
+		return err
+	}
+	if err := e.w.writeByte(byte(e.opts.Engine)); err != nil {
+		return err
+	}
+	return e.w.writeByte(byte(e.opts.Access))
+}
+
+// Encode serializes one value (and everything reachable from it).
+func (e *Encoder) Encode(v any) error {
+	if err := e.header(); err != nil {
+		return err
+	}
+	if v == nil {
+		return e.w.writeByte(tagNil)
+	}
+	return e.encodeValue(reflect.ValueOf(v), 0)
+}
+
+// EncodeValue is Encode for callers holding reflect.Values.
+func (e *Encoder) EncodeValue(v reflect.Value) error {
+	if err := e.header(); err != nil {
+		return err
+	}
+	if !v.IsValid() {
+		return e.w.writeByte(tagNil)
+	}
+	return e.encodeValue(v, 0)
+}
+
+// EncodeUint emits a raw unsigned integer for protocol framing (counts,
+// object IDs) without value-tag overhead.
+func (e *Encoder) EncodeUint(v uint64) error {
+	if err := e.header(); err != nil {
+		return err
+	}
+	return e.w.writeUint(v)
+}
+
+// EncodeString emits a raw string for protocol framing.
+func (e *Encoder) EncodeString(s string) error {
+	if err := e.header(); err != nil {
+		return err
+	}
+	return e.w.writeString(s)
+}
+
+// SeedObject assigns the next object ID to ref (a pointer, map, or slice)
+// without emitting anything. Seeding an already-known identity returns the
+// existing ID. The restore protocol seeds the server-side linear map into
+// the response encoder so that old objects are referenced by their original
+// IDs.
+func (e *Encoder) SeedObject(ref reflect.Value) (int, error) {
+	if !graph.IsIdentityKind(ref.Kind()) || ref.IsNil() {
+		return 0, fmt.Errorf("wire: SeedObject requires a non-nil ptr, map, or slice, got %s", ref.Kind())
+	}
+	ident, _ := graph.IdentOf(ref)
+	if id, ok := e.ids[ident]; ok {
+		return id, nil
+	}
+	id := len(e.objs)
+	e.ids[ident] = id
+	e.objs = append(e.objs, graph.StableRef(ref))
+	return id, nil
+}
+
+// EncodeSeededContent emits a bare content record for the seeded object id:
+// the object's current pointee / entries / elements, with nested references
+// encoded as back-references or inline new objects. This is how the server
+// ships back the state of every pre-call object, including ones that became
+// unreachable (paper, Section 3, step 3).
+func (e *Encoder) EncodeSeededContent(id int) error {
+	if err := e.header(); err != nil {
+		return err
+	}
+	if id < 0 || id >= len(e.objs) {
+		return fmt.Errorf("wire: EncodeSeededContent(%d): no such object", id)
+	}
+	obj := e.objs[id]
+	switch obj.Kind() {
+	case reflect.Ptr:
+		if err := e.w.writeByte(contentPtr); err != nil {
+			return err
+		}
+		return e.encodeValue(obj.Elem(), 0)
+	case reflect.Map:
+		if err := e.w.writeByte(contentMap); err != nil {
+			return err
+		}
+		return e.encodeMapEntries(obj, 0)
+	case reflect.Slice:
+		if err := e.w.writeByte(contentSlice); err != nil {
+			return err
+		}
+		if err := e.w.writeUint(uint64(obj.Len())); err != nil {
+			return err
+		}
+		return e.encodeSliceElems(obj, 0)
+	default:
+		return fmt.Errorf("wire: seeded object %d has unexpected kind %s", id, obj.Kind())
+	}
+}
+
+const maxEncodeDepth = 10000
+
+func (e *Encoder) encodeValue(v reflect.Value, depth int) error {
+	if depth > maxEncodeDepth {
+		return graph.ErrDepthExceeded
+	}
+	if !v.IsValid() {
+		return e.w.writeByte(tagNil)
+	}
+	switch v.Kind() {
+	case reflect.Interface:
+		if v.IsNil() {
+			return e.w.writeByte(tagNil)
+		}
+		return e.encodeValue(v.Elem(), depth+1)
+
+	case reflect.Ptr:
+		if v.IsNil() {
+			return e.w.writeByte(tagNil)
+		}
+		ident, _ := graph.IdentOf(v)
+		if id, ok := e.ids[ident]; ok {
+			if err := e.w.writeByte(tagRef); err != nil {
+				return err
+			}
+			return e.w.writeUint(uint64(id))
+		}
+		e.ids[ident] = len(e.objs)
+		e.objs = append(e.objs, graph.StableRef(v))
+		if err := e.w.writeByte(tagPtr); err != nil {
+			return err
+		}
+		if err := e.encodeType(v.Type().Elem()); err != nil {
+			return err
+		}
+		return e.encodeValue(v.Elem(), depth+1)
+
+	case reflect.Map:
+		if v.IsNil() {
+			return e.w.writeByte(tagNil)
+		}
+		ident, _ := graph.IdentOf(v)
+		if id, ok := e.ids[ident]; ok {
+			if err := e.w.writeByte(tagRef); err != nil {
+				return err
+			}
+			return e.w.writeUint(uint64(id))
+		}
+		e.ids[ident] = len(e.objs)
+		e.objs = append(e.objs, graph.StableRef(v))
+		if err := e.w.writeByte(tagMap); err != nil {
+			return err
+		}
+		if err := e.encodeType(v.Type()); err != nil {
+			return err
+		}
+		return e.encodeMapEntries(v, depth)
+
+	case reflect.Slice:
+		if v.IsNil() {
+			return e.w.writeByte(tagNil)
+		}
+		ident, _ := graph.IdentOf(v)
+		if id, ok := e.ids[ident]; ok {
+			prev := e.objs[id]
+			if prev.Kind() == reflect.Slice && prev.Len() != v.Len() {
+				return fmt.Errorf("%w: lengths %d and %d share storage",
+					graph.ErrSliceOverlap, prev.Len(), v.Len())
+			}
+			if err := e.w.writeByte(tagRef); err != nil {
+				return err
+			}
+			return e.w.writeUint(uint64(id))
+		}
+		e.ids[ident] = len(e.objs)
+		e.objs = append(e.objs, graph.StableRef(v))
+		if err := e.w.writeByte(tagSlice); err != nil {
+			return err
+		}
+		if err := e.encodeType(v.Type()); err != nil {
+			return err
+		}
+		if err := e.w.writeUint(uint64(v.Len())); err != nil {
+			return err
+		}
+		return e.encodeSliceElems(v, depth)
+
+	case reflect.Struct:
+		if err := e.w.writeByte(tagStruct); err != nil {
+			return err
+		}
+		if err := e.encodeType(v.Type()); err != nil {
+			return err
+		}
+		return e.encodeStructFields(v, depth)
+
+	case reflect.Array:
+		if err := e.w.writeByte(tagArray); err != nil {
+			return err
+		}
+		if err := e.encodeType(v.Type()); err != nil {
+			return err
+		}
+		for i := 0; i < v.Len(); i++ {
+			if err := e.encodeValue(v.Index(i), depth+1); err != nil {
+				return err
+			}
+		}
+		return nil
+
+	case reflect.Bool,
+		reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64,
+		reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64,
+		reflect.Float32, reflect.Float64,
+		reflect.Complex64, reflect.Complex128,
+		reflect.String:
+		if err := e.w.writeByte(tagScalar); err != nil {
+			return err
+		}
+		if err := e.encodeType(v.Type()); err != nil {
+			return err
+		}
+		return e.encodeScalarPayload(v)
+
+	default:
+		return fmt.Errorf("%w: %s", graph.ErrNotSerializable, v.Type())
+	}
+}
+
+func (e *Encoder) encodeMapEntries(v reflect.Value, depth int) error {
+	if err := e.w.writeUint(uint64(v.Len())); err != nil {
+		return err
+	}
+	iter := v.MapRange()
+	for iter.Next() {
+		if err := e.encodeValue(iter.Key(), depth+1); err != nil {
+			return err
+		}
+		if err := e.encodeValue(iter.Value(), depth+1); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (e *Encoder) encodeSliceElems(v reflect.Value, depth int) error {
+	for i := 0; i < v.Len(); i++ {
+		if err := e.encodeValue(v.Index(i), depth+1); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (e *Encoder) encodeStructFields(v reflect.Value, depth int) error {
+	sv := graph.Launder(v)
+	// V1 rebuilds the plan from raw reflection on every struct and ships
+	// field names; V2 uses the cached plan and a silent positional layout.
+	cached := e.opts.Engine == EngineV2 && !e.opts.DisablePlanCache
+	p := planFor(sv.Type(), e.opts.Access, cached)
+	if err := verifyZeroFields(sv, p); err != nil {
+		return err
+	}
+	if e.opts.Engine == EngineV1 {
+		if err := e.w.writeUint(uint64(len(p.fields))); err != nil {
+			return err
+		}
+	}
+	for _, pf := range p.fields {
+		if e.opts.Engine == EngineV1 {
+			if err := e.w.writeString(pf.name); err != nil {
+				return err
+			}
+		}
+		f, ok, err := graph.FieldForRead(sv, pf.index, e.opts.Access)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			continue
+		}
+		if err := e.encodeValue(f, depth+1); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (e *Encoder) encodeScalarPayload(v reflect.Value) error {
+	switch v.Kind() {
+	case reflect.Bool:
+		b := byte(0)
+		if v.Bool() {
+			b = 1
+		}
+		return e.w.writeByte(b)
+	case reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64:
+		return e.w.writeInt(v.Int())
+	case reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64:
+		return e.w.writeUint(v.Uint())
+	case reflect.Float32, reflect.Float64:
+		return e.w.writeFloat(v.Float())
+	case reflect.Complex64, reflect.Complex128:
+		c := v.Complex()
+		if err := e.w.writeFloat(real(c)); err != nil {
+			return err
+		}
+		return e.w.writeFloat(imag(c))
+	case reflect.String:
+		return e.encodeInternedString(v.String())
+	default:
+		return fmt.Errorf("%w: %s", graph.ErrNotSerializable, v.Type())
+	}
+}
+
+// encodeInternedString writes a string scalar. Engine V2 interns repeated
+// strings per stream (like Java serialization's string back-references): a
+// uvarint head of 0 introduces a literal that joins the table; n>0 is a
+// back-reference to table entry n-1. Engine V1 writes every occurrence in
+// full — one more verbosity the paper's JDK 1.3 baseline exhibits.
+func (e *Encoder) encodeInternedString(str string) error {
+	if e.opts.Engine != EngineV2 {
+		return e.w.writeString(str)
+	}
+	if idx, ok := e.strTable[str]; ok {
+		return e.w.writeUint(uint64(idx) + 1)
+	}
+	e.strTable[str] = len(e.strTable)
+	if err := e.w.writeUint(0); err != nil {
+		return err
+	}
+	return e.w.writeString(str)
+}

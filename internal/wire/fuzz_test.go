@@ -1,0 +1,112 @@
+package wire
+
+import (
+	"bytes"
+	"testing"
+
+	"nrmi/internal/graph"
+)
+
+// FuzzDecode throws arbitrary bytes at the decoder: it must return errors,
+// never panic or allocate unboundedly (MaxElems caps every length field).
+// Seeds include valid streams so mutation explores near-valid inputs.
+func FuzzDecode(f *testing.F) {
+	reg := NewRegistry()
+	if err := reg.Register("wnode", wnode{}); err != nil {
+		f.Fatal(err)
+	}
+	if err := reg.Register("wbag", wbag{}); err != nil {
+		f.Fatal(err)
+	}
+	if err := reg.Register("inner", inner{}); err != nil {
+		f.Fatal(err)
+	}
+	seed := func(v any, eng Engine) {
+		var buf bytes.Buffer
+		enc := NewEncoder(&buf, Options{Engine: eng, Registry: reg})
+		if err := enc.Encode(v); err != nil {
+			f.Fatal(err)
+		}
+		if err := enc.Flush(); err != nil {
+			f.Fatal(err)
+		}
+		f.Add(buf.Bytes())
+	}
+	shared := &wnode{Data: 7}
+	for _, eng := range []Engine{EngineV1, EngineV2} {
+		seed(&wnode{Data: 1, Left: shared, Right: shared}, eng)
+		seed([]string{"a", "a", "b"}, eng)
+		seed(map[string]int{"x": 1}, eng)
+		seed(&wbag{Name: "n", Items: []int{1, 2}, Any: 3}, eng)
+	}
+	f.Add([]byte{})
+	f.Add([]byte{headerMagic})
+	f.Add([]byte{headerMagic, byte(EngineV2), 0, tagRef, 0xFF})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		dec := NewDecoder(bytes.NewReader(data), Options{Registry: reg, MaxElems: 1 << 12})
+		for i := 0; i < 4; i++ {
+			if _, err := dec.Decode(); err != nil {
+				return // errors are the expected outcome for junk
+			}
+		}
+	})
+}
+
+// FuzzRoundTrip mutates a tree-describing byte string into tree shapes and
+// checks encode→decode graph equality, a structured complement to
+// FuzzDecode.
+func FuzzRoundTrip(f *testing.F) {
+	reg := NewRegistry()
+	if err := reg.Register("wnode", wnode{}); err != nil {
+		f.Fatal(err)
+	}
+	f.Add([]byte{1, 2, 3, 4}, false)
+	f.Add([]byte{0}, true)
+	f.Add([]byte{200, 100, 50, 25, 12, 6}, true)
+
+	f.Fuzz(func(t *testing.T, shape []byte, useV1 bool) {
+		// Interpret shape bytes as a preorder construction program.
+		var build func(i int, depth int) (*wnode, int)
+		build = func(i, depth int) (*wnode, int) {
+			if i >= len(shape) || depth > 12 || shape[i]%4 == 0 {
+				return nil, i + 1
+			}
+			n := &wnode{Data: int(shape[i])}
+			var next int
+			n.Left, next = build(i+1, depth+1)
+			n.Right, next = build(next, depth+1)
+			return n, next
+		}
+		tree, _ := build(0, 0)
+		eng := EngineV2
+		if useV1 {
+			eng = EngineV1
+		}
+		opts := Options{Engine: eng, Registry: reg}
+		var buf bytes.Buffer
+		enc := NewEncoder(&buf, opts)
+		if err := enc.Encode(tree); err != nil {
+			t.Fatal(err)
+		}
+		if err := enc.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		dec := NewDecoder(&buf, opts)
+		out, err := dec.Decode()
+		if err != nil {
+			t.Fatalf("decode of own encoding failed: %v", err)
+		}
+		if tree == nil {
+			// A typed nil encodes as nil and decodes as untyped nil.
+			if out != nil {
+				t.Fatalf("nil tree decoded to %v", out)
+			}
+			return
+		}
+		eq, err := graph.Equal(graph.AccessExported, tree, out)
+		if err != nil || !eq {
+			t.Fatalf("round trip broke graph equality: eq=%v err=%v", eq, err)
+		}
+	})
+}

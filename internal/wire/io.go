@@ -1,0 +1,217 @@
+package wire
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+)
+
+// writer is the byte-emission layer. Engine V1 uses an unbuffered,
+// fixed-width implementation (every primitive is a separate small Write to
+// the underlying stream, like the layered JDK 1.3 path); engine V2 buffers
+// and uses varints.
+type writer struct {
+	raw     io.Writer
+	buf     *bufio.Writer // non-nil for V2
+	engine  Engine
+	scratch [binary.MaxVarintLen64]byte
+	count   int64
+}
+
+func newWriter(w io.Writer, engine Engine) *writer {
+	wr := &writer{raw: w, engine: engine}
+	if engine == EngineV2 {
+		wr.buf = bufio.NewWriterSize(w, 4096)
+	}
+	return wr
+}
+
+// bytesWritten returns the number of payload bytes emitted so far,
+// including bytes still sitting in the V2 buffer.
+func (w *writer) bytesWritten() int64 { return w.count }
+
+func (w *writer) write(p []byte) error {
+	var err error
+	if w.buf != nil {
+		_, err = w.buf.Write(p)
+	} else {
+		_, err = w.raw.Write(p)
+	}
+	if err == nil {
+		w.count += int64(len(p))
+	}
+	return err
+}
+
+func (w *writer) writeByte(b byte) error {
+	if w.buf != nil {
+		if err := w.buf.WriteByte(b); err != nil {
+			return err
+		}
+		w.count++
+		return nil
+	}
+	return w.write([]byte{b})
+}
+
+// writeUint emits an unsigned integer: uvarint under V2, fixed 8 bytes
+// big-endian under V1.
+func (w *writer) writeUint(v uint64) error {
+	if w.engine == EngineV2 {
+		n := binary.PutUvarint(w.scratch[:], v)
+		return w.write(w.scratch[:n])
+	}
+	binary.BigEndian.PutUint64(w.scratch[:8], v)
+	return w.write(w.scratch[:8])
+}
+
+// writeInt emits a signed integer: zigzag varint under V2, fixed 8 bytes
+// under V1.
+func (w *writer) writeInt(v int64) error {
+	if w.engine == EngineV2 {
+		n := binary.PutVarint(w.scratch[:], v)
+		return w.write(w.scratch[:n])
+	}
+	binary.BigEndian.PutUint64(w.scratch[:8], uint64(v))
+	return w.write(w.scratch[:8])
+}
+
+func (w *writer) writeFloat(v float64) error {
+	binary.BigEndian.PutUint64(w.scratch[:8], math.Float64bits(v))
+	return w.write(w.scratch[:8])
+}
+
+func (w *writer) writeString(s string) error {
+	if err := w.writeUint(uint64(len(s))); err != nil {
+		return err
+	}
+	if w.engine == EngineV1 {
+		// Byte-at-a-time emission: the deliberate V1 inefficiency.
+		for i := 0; i < len(s); i++ {
+			if err := w.writeByte(s[i]); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return w.write([]byte(s))
+}
+
+func (w *writer) flush() error {
+	if w.buf != nil {
+		return w.buf.Flush()
+	}
+	return nil
+}
+
+// reader is the byte-consumption layer, adapting to the engine announced in
+// the stream header.
+type reader struct {
+	raw      io.Reader
+	br       *bufio.Reader
+	engine   Engine
+	scratch  [8]byte
+	count    int64
+	maxElems int
+}
+
+func newReader(r io.Reader, maxElems int) *reader {
+	return &reader{raw: r, maxElems: maxElems}
+}
+
+// setEngine finalizes the reader once the header announced the engine.
+func (r *reader) setEngine(e Engine) {
+	r.engine = e
+	if e == EngineV2 {
+		r.br = bufio.NewReaderSize(r.raw, 4096)
+	}
+}
+
+func (r *reader) bytesRead() int64 { return r.count }
+
+func (r *reader) readFull(p []byte) error {
+	var err error
+	if r.br != nil {
+		_, err = io.ReadFull(r.br, p)
+	} else {
+		_, err = io.ReadFull(r.raw, p)
+	}
+	if err == nil {
+		r.count += int64(len(p))
+	}
+	return err
+}
+
+func (r *reader) readByte() (byte, error) {
+	if r.br != nil {
+		b, err := r.br.ReadByte()
+		if err == nil {
+			r.count++
+		}
+		return b, err
+	}
+	err := r.readFull(r.scratch[:1])
+	return r.scratch[0], err
+}
+
+func (r *reader) readUint() (uint64, error) {
+	if r.engine == EngineV2 {
+		v, err := binary.ReadUvarint(byteReaderFunc(r.readByte))
+		return v, err
+	}
+	if err := r.readFull(r.scratch[:8]); err != nil {
+		return 0, err
+	}
+	return binary.BigEndian.Uint64(r.scratch[:8]), nil
+}
+
+func (r *reader) readInt() (int64, error) {
+	if r.engine == EngineV2 {
+		return binary.ReadVarint(byteReaderFunc(r.readByte))
+	}
+	if err := r.readFull(r.scratch[:8]); err != nil {
+		return 0, err
+	}
+	return int64(binary.BigEndian.Uint64(r.scratch[:8])), nil
+}
+
+func (r *reader) readFloat() (float64, error) {
+	if err := r.readFull(r.scratch[:8]); err != nil {
+		return 0, err
+	}
+	return math.Float64frombits(binary.BigEndian.Uint64(r.scratch[:8])), nil
+}
+
+// readLen reads a length field and enforces the sanity limit.
+func (r *reader) readLen() (int, error) {
+	v, err := r.readUint()
+	if err != nil {
+		return 0, err
+	}
+	if v > uint64(r.maxElems) {
+		return 0, fmt.Errorf("%w: length %d > max %d", ErrLimit, v, r.maxElems)
+	}
+	return int(v), nil
+}
+
+func (r *reader) readString() (string, error) {
+	n, err := r.readLen()
+	if err != nil {
+		return "", err
+	}
+	if n == 0 {
+		return "", nil
+	}
+	p := make([]byte, n)
+	if err := r.readFull(p); err != nil {
+		return "", err
+	}
+	return string(p), nil
+}
+
+// byteReaderFunc adapts a readByte method to io.ByteReader.
+type byteReaderFunc func() (byte, error)
+
+func (f byteReaderFunc) ReadByte() (byte, error) { return f() }

@@ -1,0 +1,128 @@
+package wire
+
+import (
+	"fmt"
+	"reflect"
+	"sync"
+)
+
+// Registry maps wire names to Go types, playing the role of Java's
+// class-resolution machinery during deserialization. Every *named* Go type
+// that crosses the wire — structs, named scalars, named composites, and
+// named interface types appearing in type descriptors — must be registered
+// under the same name on both endpoints. Unnamed composites (e.g. []*Tree,
+// map[string]int) are described structurally and need no registration.
+type Registry struct {
+	mu     sync.RWMutex
+	byName map[string]reflect.Type
+	byType map[reflect.Type]string
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		byName: make(map[string]reflect.Type),
+		byType: make(map[reflect.Type]string),
+	}
+}
+
+var defaultRegistry = NewRegistry()
+
+// DefaultRegistry returns the process-wide registry used when Options.
+// Registry is nil, mirroring encoding/gob's package-level Register.
+func DefaultRegistry() *Registry { return defaultRegistry }
+
+// Register records the dynamic type of sample under name. Pointer samples
+// are dereferenced: Register("t.Tree", &Tree{}) and Register("t.Tree",
+// Tree{}) are equivalent. Registering the same pair twice is a no-op;
+// conflicting registrations return an error.
+func (r *Registry) Register(name string, sample any) error {
+	if sample == nil {
+		return fmt.Errorf("wire: Register(%q) with nil sample", name)
+	}
+	t := reflect.TypeOf(sample)
+	for t.Kind() == reflect.Ptr {
+		t = t.Elem()
+	}
+	return r.RegisterType(name, t)
+}
+
+// RegisterType records t under name. Use this form for interface types:
+// RegisterType("t.Shape", reflect.TypeOf((*Shape)(nil)).Elem()).
+func (r *Registry) RegisterType(name string, t reflect.Type) error {
+	if name == "" {
+		return fmt.Errorf("wire: RegisterType with empty name for %s", t)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if prev, ok := r.byName[name]; ok && prev != t {
+		return fmt.Errorf("wire: name %q already registered for %s, cannot rebind to %s", name, prev, t)
+	}
+	if prev, ok := r.byType[t]; ok && prev != name {
+		return fmt.Errorf("wire: type %s already registered as %q, cannot rebind to %q", t, prev, name)
+	}
+	r.byName[name] = t
+	r.byType[t] = name
+	return nil
+}
+
+// RegisterAuto registers sample's type under its canonical
+// "pkgpath.TypeName" name and returns that name.
+func (r *Registry) RegisterAuto(sample any) (string, error) {
+	if sample == nil {
+		return "", fmt.Errorf("wire: RegisterAuto with nil sample")
+	}
+	t := reflect.TypeOf(sample)
+	for t.Kind() == reflect.Ptr {
+		t = t.Elem()
+	}
+	name := canonicalName(t)
+	if name == "" {
+		return "", fmt.Errorf("wire: type %s has no canonical name; use Register", t)
+	}
+	return name, r.RegisterType(name, t)
+}
+
+// canonicalName builds "pkgpath.Name" for named types, "" otherwise.
+func canonicalName(t reflect.Type) string {
+	if t.Name() == "" {
+		return ""
+	}
+	if t.PkgPath() == "" {
+		return "" // predeclared types need no registration
+	}
+	return t.PkgPath() + "." + t.Name()
+}
+
+// TypeByName resolves a wire name, reporting ErrTypeNotRegistered misses.
+func (r *Registry) TypeByName(name string) (reflect.Type, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	t, ok := r.byName[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrTypeNotRegistered, name)
+	}
+	return t, nil
+}
+
+// NameOf resolves the wire name of a type, reporting ErrTypeNotRegistered
+// for unregistered named types.
+func (r *Registry) NameOf(t reflect.Type) (string, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if n, ok := r.byType[t]; ok {
+		return n, nil
+	}
+	return "", fmt.Errorf("%w: %s (register it on both endpoints)", ErrTypeNotRegistered, t)
+}
+
+// Register records sample's type in the default registry under name.
+func Register(name string, sample any) error {
+	return defaultRegistry.Register(name, sample)
+}
+
+// RegisterAuto records sample's type in the default registry under its
+// canonical name.
+func RegisterAuto(sample any) (string, error) {
+	return defaultRegistry.RegisterAuto(sample)
+}

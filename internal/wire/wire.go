@@ -1,0 +1,139 @@
+// Package wire implements NRMI's serialization substrate: a self-describing,
+// identity-preserving binary codec for arbitrary Go object graphs. It plays
+// the role Java Serialization plays for RMI/NRMI — including the hook the
+// paper taps to obtain the linear map of reachable objects "almost for free"
+// during (de)serialization (Section 5.2.1 and optimization 1 of 5.2.4).
+//
+// Aliasing and cycles are preserved exactly: the first time an object
+// (pointer, map, or slice) is encountered it is assigned the next object ID
+// and encoded inline; later encounters encode a back-reference to that ID.
+// Decoding reproduces an isomorphic graph and assigns the same IDs in the
+// same order, so the encoder-side and decoder-side linear maps correspond
+// positionally without the map ever crossing the wire.
+//
+// Two engines are provided, mirroring the paper's JDK 1.3 / JDK 1.4 split:
+//
+//   - EngineV1 is deliberately naive: fixed-width integers, type names and
+//     struct field names written inline on every occurrence, no cached
+//     struct plans, unbuffered byte-at-a-time output. It stands in for the
+//     layered, verbose JDK 1.3 serialization the paper benchmarks against.
+//   - EngineV2 is the optimized engine: varint scalars, a per-stream type
+//     table, cached struct plans, buffered I/O. It stands in for JDK 1.4's
+//     flattened, Unsafe-accelerated serialization.
+//
+// The codec also supports the seeded-object protocol used by the restore
+// phase: an endpoint may pre-assign IDs to objects it already holds
+// (Encoder.SeedObject / Decoder.SeedObject) and then exchange bare content
+// records for those IDs (EncodeSeededContent / DecodeSeededContent),
+// resolving references to seeded IDs against the local originals.
+package wire
+
+import (
+	"errors"
+	"fmt"
+
+	"nrmi/internal/graph"
+)
+
+// Engine selects the codec implementation generation.
+type Engine byte
+
+const (
+	// EngineV1 is the naive, verbose engine (the JDK 1.3 stand-in).
+	EngineV1 Engine = 1
+	// EngineV2 is the optimized engine (the JDK 1.4 stand-in).
+	EngineV2 Engine = 2
+)
+
+// String returns the engine name.
+func (e Engine) String() string {
+	switch e {
+	case EngineV1:
+		return "v1"
+	case EngineV2:
+		return "v2"
+	default:
+		return fmt.Sprintf("Engine(%d)", byte(e))
+	}
+}
+
+// Errors reported by the codec.
+var (
+	// ErrTypeNotRegistered is reported when a named type crosses the wire
+	// without having been registered on the relevant Registry.
+	ErrTypeNotRegistered = errors.New("wire: type not registered")
+
+	// ErrBadStream is reported when the byte stream is structurally invalid.
+	ErrBadStream = errors.New("wire: corrupted or incompatible stream")
+
+	// ErrLimit is reported when a length field exceeds the configured
+	// sanity limits, protecting against corrupted or hostile streams.
+	ErrLimit = errors.New("wire: stream exceeds size limits")
+)
+
+// Options configures an Encoder or Decoder.
+type Options struct {
+	// Engine selects V1 or V2. Decoders learn the engine from the stream
+	// header; the field is ignored for them. Default: EngineV2.
+	Engine Engine
+
+	// Access selects struct-field visibility. Encoders stamp the mode into
+	// the header so both endpoints traverse identical field sets. Default:
+	// AccessExported.
+	Access graph.AccessMode
+
+	// Registry resolves named types. Default: the package-level default
+	// registry.
+	Registry *Registry
+
+	// MaxElems caps any single length field (string bytes, slice length,
+	// map entries, field count). Zero means the default of 1<<26.
+	MaxElems int
+
+	// DisablePlanCache forces struct field plans to be recomputed from raw
+	// reflection on every object, modeling the paper's "portable" NRMI
+	// implementation (plain reflection) against the "optimized" one
+	// (aggressively cached reflection metadata, Section 5.3.1). Engine V1
+	// never caches regardless of this flag.
+	DisablePlanCache bool
+}
+
+const defaultMaxElems = 1 << 26
+
+// withDefaults returns a copy of o with zero fields replaced by defaults.
+func (o Options) withDefaults() Options {
+	if o.Engine == 0 {
+		o.Engine = EngineV2
+	}
+	if o.Registry == nil {
+		o.Registry = DefaultRegistry()
+	}
+	if o.MaxElems == 0 {
+		o.MaxElems = defaultMaxElems
+	}
+	return o
+}
+
+// Stream header bytes.
+const (
+	headerMagic = 0x4E // 'N' for NRMI
+)
+
+// Value tags: the first byte of every encoded value.
+const (
+	tagNil    byte = 0 // nil pointer, map, slice, or interface
+	tagRef    byte = 1 // back-reference: uvarint object ID
+	tagPtr    byte = 2 // new pointer object: type desc, pointee value
+	tagMap    byte = 3 // new map object: type desc, uvarint count, key/value pairs
+	tagSlice  byte = 4 // new slice object: type desc, uvarint len, elements
+	tagStruct byte = 5 // inline struct: type desc, fields (per engine plan)
+	tagArray  byte = 6 // inline array: type desc, elements
+	tagScalar byte = 7 // scalar: type desc, payload by kind
+)
+
+// Content-record kind bytes for the seeded-object protocol.
+const (
+	contentPtr   byte = 0x50
+	contentMap   byte = 0x51
+	contentSlice byte = 0x52
+)

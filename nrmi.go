@@ -1,0 +1,216 @@
+// Package nrmi is a Go reproduction of NRMI — "Natural and Efficient
+// Middleware" (Tilevich & Smaragdakis, ICDCS 2003): RPC middleware with
+// full call-by-copy-restore semantics for arbitrary linked data structures,
+// in addition to the usual call-by-copy and call-by-reference.
+//
+// # Calling semantics
+//
+// Like Java RMI (and NRMI), the calling semantics of each remote-method
+// argument is chosen by its type:
+//
+//   - a type implementing Restorable (one empty marker method,
+//     NRMIRestorable) is passed by copy-restore: the server works on a deep
+//     copy at full speed, and when the call returns, every object that was
+//     reachable from the argument is overwritten in place on the caller —
+//     so every alias the caller holds observes the server's mutations,
+//     including changes to objects the server unlinked, exactly as if the
+//     call had been local;
+//   - a type implementing Remote (marker method NRMIRemote) is passed by
+//     reference: the receiver gets a RemoteRef and every access is a
+//     network round trip;
+//   - every other serializable value is passed by copy.
+//
+// For a single-threaded client calling a stateless server, a copy-restore
+// call is observationally identical to a local call.
+//
+// # Quick start
+//
+// Server:
+//
+//	type Vector struct{ Words []string }
+//	func (*Vector) NRMIRestorable() {}
+//
+//	type Translator struct{}
+//	func (t *Translator) Translate(v *Vector) { ... mutate v.Words ... }
+//
+//	nrmi.Register("Vector", Vector{})
+//	srv, _ := nrmi.NewServer("127.0.0.1:4040", nrmi.Options{})
+//	srv.Export("translator", &Translator{})
+//	ln, _ := net.Listen("tcp", "127.0.0.1:4040")
+//	srv.Serve(ln)
+//
+// Client:
+//
+//	cl, _ := nrmi.NewClient(nrmi.TCPDialer(), nrmi.Options{})
+//	stub := cl.Stub("127.0.0.1:4040", "translator")
+//	stub.Call(ctx, "Translate", vec) // vec mutated in place on return
+//
+// Every named type crossing the wire must be registered under the same
+// name on both endpoints (Register / Options.Registry), like gob.Register.
+package nrmi
+
+import (
+	"net"
+
+	"nrmi/internal/core"
+	"nrmi/internal/graph"
+	"nrmi/internal/netsim"
+	"nrmi/internal/registry"
+	"nrmi/internal/rmi"
+	"nrmi/internal/wire"
+)
+
+// Restorable marks types passed by call-by-copy-restore; see the package
+// comment. The analog of the paper's java.rmi.Restorable.
+type Restorable = rmi.Restorable
+
+// Remote marks types passed by remote reference. The analog of
+// java.rmi.server.UnicastRemoteObject.
+type Remote = rmi.Remote
+
+// RefHolder is implemented by application proxies wrapping a RemoteRef.
+type RefHolder = rmi.RefHolder
+
+// RemoteRef is the wire descriptor of a remotely accessible object.
+type RemoteRef = rmi.RemoteRef
+
+// Server exports objects and answers remote invocations.
+type Server = rmi.Server
+
+// Client issues remote invocations.
+type Client = rmi.Client
+
+// Stub addresses one exported object on one server.
+type Stub = rmi.Stub
+
+// Dialer opens connections to named endpoints.
+type Dialer = rmi.Dialer
+
+// Registry maps wire names to types; see Register.
+type Registry = wire.Registry
+
+// RegistryServer is the standalone naming service (rmiregistry analog).
+type RegistryServer = registry.Server
+
+// RegistryEntry is one naming-service binding.
+type RegistryEntry = registry.Entry
+
+// Engine selects the wire codec generation.
+type Engine = wire.Engine
+
+// Codec engine generations; V2 is the default and the one to use. V1
+// exists for the paper's JDK 1.3 baseline measurements.
+const (
+	EngineV1 = wire.EngineV1
+	EngineV2 = wire.EngineV2
+)
+
+// Options configures servers and clients. The zero value is the sensible
+// default: optimized engine, exported fields only, full restore.
+type Options struct {
+	// Engine selects the codec generation (default EngineV2).
+	Engine Engine
+	// UnsafeAccess serializes and restores unexported struct fields via
+	// unsafe-backed accessors (the paper's "optimized" privileged access).
+	// Without it, types crossing the wire must keep their remote-visible
+	// state in exported fields.
+	UnsafeAccess bool
+	// Delta enables the delta response encoding: only objects the server
+	// actually changed are shipped back (the paper's future-work
+	// optimization, Section 5.2.4).
+	Delta bool
+	// DCECompat weakens restore to DCE RPC semantics — objects that
+	// became unreachable from the parameters are not restored (paper,
+	// Section 4.2). For differential experiments only.
+	DCECompat bool
+	// Portable disables codec plan caching, modeling the paper's portable
+	// (pure reflection) implementation. For experiments only.
+	Portable bool
+	// Compress enables DEFLATE compression of frames above 1 KiB, a pure
+	// bandwidth/CPU trade each endpoint may enable independently.
+	Compress bool
+	// Registry resolves named types; nil means the process-wide default.
+	Registry *Registry
+	// WrapRef converts inbound remote references into application proxies
+	// before dispatch; see the rmi layer documentation.
+	WrapRef func(ref *RemoteRef, c *Client) (any, error)
+	// Intercept wraps every invocation on this endpoint (outbound on a
+	// client, inbound on a server) for logging, metrics, or policy. The
+	// interceptor may veto by returning without calling next.
+	Intercept Interceptor
+}
+
+// CallInfo identifies one invocation for interceptors.
+type CallInfo = rmi.CallInfo
+
+// Interceptor wraps an invocation; call next to proceed.
+type Interceptor = rmi.Interceptor
+
+// rmiOptions lowers public options onto the internal stack.
+func (o Options) rmiOptions() rmi.Options {
+	access := graph.AccessExported
+	if o.UnsafeAccess {
+		access = graph.AccessUnsafe
+	}
+	policy := core.PolicyFull
+	if o.DCECompat {
+		policy = core.PolicyDCE
+	}
+	return rmi.Options{
+		Core: core.Options{
+			Engine:           o.Engine,
+			Access:           access,
+			Registry:         o.Registry,
+			Policy:           policy,
+			Delta:            o.Delta,
+			DisablePlanCache: o.Portable,
+		},
+		WrapRef:   o.WrapRef,
+		Compress:  o.Compress,
+		Intercept: o.Intercept,
+	}
+}
+
+// NewServer returns a server identifying itself under addr (the address
+// clients dial, e.g. "127.0.0.1:4040"). Call Serve with a listener on that
+// address to start answering.
+func NewServer(addr string, opts Options) (*Server, error) {
+	return rmi.NewServer(addr, opts.rmiOptions())
+}
+
+// NewClient returns a client reaching servers through dialer.
+func NewClient(dialer Dialer, opts Options) (*Client, error) {
+	return rmi.NewClient(dialer, opts.rmiOptions())
+}
+
+// TCPDialer dials addresses over TCP.
+func TCPDialer() Dialer {
+	return func(addr string) (net.Conn, error) { return net.Dial("tcp", addr) }
+}
+
+// NewRegistry returns an empty type registry for endpoints that prefer
+// explicit registries over the process-wide default.
+func NewRegistry() *Registry { return wire.NewRegistry() }
+
+// Register records sample's type under name in the process-wide default
+// registry. Both endpoints must register the same name/type pairs.
+func Register(name string, sample any) error { return wire.Register(name, sample) }
+
+// NewRegistryServer returns a standalone naming service. Bind it to a
+// listener with Serve, or embed one into an rmi server with
+// Server.EnableRegistry.
+func NewRegistryServer() *RegistryServer { return registry.NewServer() }
+
+// SimNetwork is an in-process shaped network for tests and experiments;
+// its Dial method is a Dialer.
+type SimNetwork = netsim.Network
+
+// SimProfile describes a simulated link.
+type SimProfile = netsim.Profile
+
+// NewSimNetwork returns an in-process network whose links impose the given
+// latency and bandwidth.
+func NewSimNetwork(p SimProfile) *SimNetwork { return netsim.NewNetwork(p) }
+
+// LAN100Mbps approximates the paper's experimental network.
+func LAN100Mbps() SimProfile { return netsim.LAN100Mbps() }
