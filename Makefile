@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race cover bench tables verify-tables loc examples fuzz clean
+.PHONY: all build test race chaos cover bench tables verify-tables loc examples fuzz clean
 
 all: build test
 
@@ -11,10 +11,19 @@ build:
 	$(GO) vet ./...
 
 test:
-	$(GO) test ./...
+	$(GO) vet ./...
+	$(GO) test -race ./...
 
 race:
 	$(GO) test -race ./...
+
+# Chaos suite: the five fixed fault-plan seeds, plus one fresh seed derived
+# from the clock. The seed is printed so any failure replays exactly with
+# CHAOS_SEED=<seed> make chaos.
+chaos:
+	@seed=$${CHAOS_SEED:-$$(date +%s%N)}; \
+	echo "chaos seed: $$seed (replay: CHAOS_SEED=$$seed make chaos)"; \
+	CHAOS_SEED=$$seed $(GO) test -race -run 'TestChaos|TestRetry|TestBackoff' -v ./internal/rmi/
 
 cover:
 	$(GO) test -coverprofile=cover.out ./... && $(GO) tool cover -func=cover.out | tail -1

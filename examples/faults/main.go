@@ -121,4 +121,66 @@ func main() {
 		log.Fatalf("never recovered: %v", err)
 	}
 	fmt.Printf("5. recovered after restart, balance=%d\n", acct.Balance)
+
+	// 6. Deterministic fault injection: on a simulated link whose fault
+	// plan drops the first two request frames, a retry policy rides out
+	// the loss — and because dropped requests never reached the server,
+	// the deposit lands exactly once.
+	sim := nrmi.NewSimNetwork(nrmi.SimProfile{})
+	defer sim.Close()
+	simSrv, err := startSimBank(sim, "bank-host")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer simSrv.Close()
+	sim.SetFaults("bank-host", nrmi.NewSimFaultPlan(7).DropFrame(1).DropFrame(2))
+	rclient, err := nrmi.NewClient(sim.Dial, nrmi.Options{
+		Retry:       nrmi.RetryPolicy{MaxAttempts: 4, BaseDelay: 5 * time.Millisecond, Seed: 7},
+		CallTimeout: 100 * time.Millisecond,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer rclient.Close()
+	rstub := rclient.Stub("bank-host", "bank")
+	racct := &Account{Owner: "grace"}
+	if _, err := rstub.Call(ctx, "Deposit", racct, 42); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("6. retries rode out the dropped frames, balance=%d\n", racct.Balance)
+
+	// 7. Failures are atomic as well as visible: a call across a severed
+	// link fails, and the failed call leaves the account exactly as it
+	// was — never a partial restore (the Section 6.2 invariant).
+	sim.SetFaults("bank-host", nil)
+	sim.Partition("", "bank-host")
+	before := racct.Balance
+	_, err = rstub.Call(ctx, "Deposit", racct, 1000)
+	fmt.Printf("7. partitioned call failed: %v, balance untouched: %v\n",
+		err != nil, racct.Balance == before)
+
+	// 8. Healing the partition brings the same stub back to life via the
+	// connection pool's re-dial.
+	sim.Heal("", "bank-host")
+	if _, err := rstub.Call(ctx, "Deposit", racct, 8); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("8. healed link, deposit landed, balance=%d\n", racct.Balance)
+}
+
+// startSimBank exports a Bank on a simulated network host.
+func startSimBank(sim *nrmi.SimNetwork, addr string) (*nrmi.Server, error) {
+	srv, err := nrmi.NewServer(addr, nrmi.Options{})
+	if err != nil {
+		return nil, err
+	}
+	if err := srv.Export("bank", &Bank{}); err != nil {
+		return nil, err
+	}
+	ln, err := sim.Listen(addr)
+	if err != nil {
+		return nil, err
+	}
+	srv.Serve(ln)
+	return srv, nil
 }

@@ -38,6 +38,9 @@ func TestExamplesRun(t *testing.T) {
 			"2. remote error surfaced: true (balance still 100)",
 			"3. slow call timed out: true",
 			"5. recovered after restart, balance=123",
+			"6. retries rode out the dropped frames, balance=42",
+			"7. partitioned call failed: true, balance untouched: true",
+			"8. healed link, deposit landed, balance=50",
 		}},
 		{"./examples/callbacks", []string{
 			"33% prepare backup",

@@ -80,10 +80,17 @@ func (h Host) Charge(elapsed time.Duration) {
 // Stats aggregates traffic accounting for a network or a single conn.
 type Stats struct {
 	// BytesSent counts payload bytes written, both directions combined for
-	// the network, per direction for a conn.
+	// the network, per direction for a conn. Dropped frames are not
+	// counted: Messages and BytesSent describe delivered traffic.
 	BytesSent int64
 	// Messages counts Write calls (one frame per message by contract).
 	Messages int64
+	// Fault-injection counters: how many frames each fault kind hit.
+	Dropped    int64
+	Delayed    int64
+	Duplicated int64
+	Corrupted  int64
+	Severed    int64
 }
 
 // Network is an in-process network: named listen points joined by shaped
@@ -93,10 +100,19 @@ type Network struct {
 
 	mu        sync.Mutex
 	listeners map[string]*listener
+	plans     map[string]*Plan         // listen addr -> fault plan for that link
+	parts     map[[2]string]struct{}   // partitioned host pairs, sorted
+	conns     map[*shapedConn]struct{} // live conn halves, for partition severing
 	closed    bool
 
 	bytes    atomic.Int64
 	messages atomic.Int64
+
+	dropped    atomic.Int64
+	delayed    atomic.Int64
+	duplicated atomic.Int64
+	corrupted  atomic.Int64
+	severed    atomic.Int64
 }
 
 // NewNetwork returns a network whose links all use the given profile.
@@ -104,18 +120,95 @@ func NewNetwork(profile Profile) *Network {
 	return &Network{
 		profile:   profile,
 		listeners: make(map[string]*listener),
+		plans:     make(map[string]*Plan),
+		parts:     make(map[[2]string]struct{}),
+		conns:     make(map[*shapedConn]struct{}),
 	}
 }
 
 // Stats returns cumulative traffic over all links.
 func (n *Network) Stats() Stats {
-	return Stats{BytesSent: n.bytes.Load(), Messages: n.messages.Load()}
+	return Stats{
+		BytesSent:  n.bytes.Load(),
+		Messages:   n.messages.Load(),
+		Dropped:    n.dropped.Load(),
+		Delayed:    n.delayed.Load(),
+		Duplicated: n.duplicated.Load(),
+		Corrupted:  n.corrupted.Load(),
+		Severed:    n.severed.Load(),
+	}
 }
 
 // ResetStats zeroes the traffic counters.
 func (n *Network) ResetStats() {
 	n.bytes.Store(0)
 	n.messages.Store(0)
+	n.dropped.Store(0)
+	n.delayed.Store(0)
+	n.duplicated.Store(0)
+	n.corrupted.Store(0)
+	n.severed.Store(0)
+}
+
+// SetFaults attaches a fault plan to the link under the given listen
+// address; frames in both directions consult it in delivery order. A nil
+// plan heals the link. Existing connections pick the plan up immediately.
+func (n *Network) SetFaults(addr string, p *Plan) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if p == nil {
+		delete(n.plans, addr)
+		return
+	}
+	n.plans[addr] = p
+}
+
+func (n *Network) planFor(addr string) *Plan {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.plans[addr]
+}
+
+func pairKey(a, b string) [2]string {
+	if a > b {
+		a, b = b, a
+	}
+	return [2]string{a, b}
+}
+
+// Partition severs the pair of hosts (a, b): existing connections between
+// them are closed, and new dials are refused with ErrPartitioned until
+// Heal. Hosts are the names given to DialFrom and Listen; the plain Dial
+// entry point is the anonymous host "".
+func (n *Network) Partition(a, b string) {
+	n.mu.Lock()
+	n.parts[pairKey(a, b)] = struct{}{}
+	var victims []*shapedConn
+	for c := range n.conns {
+		if pairKey(c.src, c.dst) == pairKey(a, b) {
+			victims = append(victims, c)
+		}
+	}
+	n.mu.Unlock()
+	for _, c := range victims {
+		_ = c.Close()
+	}
+}
+
+// Heal removes the partition between hosts a and b; subsequent dials
+// succeed again. Connections closed by the partition stay closed.
+func (n *Network) Heal(a, b string) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	delete(n.parts, pairKey(a, b))
+}
+
+// Partitioned reports whether the pair (a, b) is currently severed.
+func (n *Network) Partitioned(a, b string) bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	_, ok := n.parts[pairKey(a, b)]
+	return ok
 }
 
 // Errors reported by the simulated network.
@@ -148,12 +241,22 @@ func (n *Network) Listen(addr string) (net.Listener, error) {
 	return l, nil
 }
 
-// Dial connects to a listen point.
+// Dial connects to a listen point as the anonymous host "".
 func (n *Network) Dial(addr string) (net.Conn, error) {
+	return n.DialFrom("", addr)
+}
+
+// DialFrom connects to a listen point, identifying the dialing side as
+// host src so the connection participates in Partition decisions.
+func (n *Network) DialFrom(src, addr string) (net.Conn, error) {
 	n.mu.Lock()
 	if n.closed {
 		n.mu.Unlock()
 		return nil, ErrClosed
+	}
+	if _, cut := n.parts[pairKey(src, addr)]; cut {
+		n.mu.Unlock()
+		return nil, fmt.Errorf("%w: %s <-> %s", ErrPartitioned, src, addr)
 	}
 	l, ok := n.listeners[addr]
 	n.mu.Unlock()
@@ -161,12 +264,18 @@ func (n *Network) Dial(addr string) (net.Conn, error) {
 		return nil, fmt.Errorf("%w: %s", ErrConnRefused, addr)
 	}
 	client, server := net.Pipe()
-	cc := &shapedConn{Conn: client, net: n, profile: n.profile}
-	sc := &shapedConn{Conn: server, net: n, profile: n.profile}
+	cc := &shapedConn{Conn: client, net: n, profile: n.profile, src: src, dst: addr}
+	sc := &shapedConn{Conn: server, net: n, profile: n.profile, src: src, dst: addr}
+	n.mu.Lock()
+	n.conns[cc] = struct{}{}
+	n.conns[sc] = struct{}{}
+	n.mu.Unlock()
 	select {
 	case l.accept <- sc:
 		return cc, nil
 	case <-l.done:
+		_ = cc.Close()
+		_ = sc.Close()
 		return nil, fmt.Errorf("%w: %s", ErrConnRefused, addr)
 	}
 }
@@ -227,27 +336,82 @@ func (a simAddr) Network() string { return "netsim" }
 func (a simAddr) String() string  { return string(a) }
 
 // shapedConn delays each Write by the link's delivery cost for the message
-// size and records traffic. By the transport contract, one Write is one
-// message.
+// size, applies the link's fault plan, and records traffic. By the
+// transport contract, one Write is one message, so per-frame faults are
+// per-message faults.
 type shapedConn struct {
 	net.Conn
-	net     *Network
-	profile Profile
+	net      *Network
+	profile  Profile
+	src, dst string // link endpoints; dst is the listen address keying the plan
+}
+
+// Close deregisters the conn half and closes the underlying pipe.
+func (c *shapedConn) Close() error {
+	c.net.mu.Lock()
+	delete(c.net.conns, c)
+	c.net.mu.Unlock()
+	return c.Conn.Close()
 }
 
 func (c *shapedConn) Write(p []byte) (int, error) {
-	if d := c.profile.Delay(len(p)); d > 0 {
-		time.Sleep(d)
+	if c.net.Partitioned(c.src, c.dst) {
+		return 0, fmt.Errorf("%w: %s <-> %s", ErrPartitioned, c.src, c.dst)
+	}
+	var d decision
+	plan := c.net.planFor(c.dst)
+	if plan != nil {
+		d = plan.next(len(p))
+	}
+	if delay := c.profile.Delay(len(p)) + d.delay; delay > 0 {
+		time.Sleep(delay)
+	}
+	if d.delay > 0 {
+		c.net.delayed.Add(1)
+	}
+	if d.drop {
+		// The frame paid its transit cost and vanished; the caller sees a
+		// successful send, the peer sees nothing — message loss.
+		c.net.dropped.Add(1)
+		return len(p), nil
+	}
+	if d.sever {
+		cut := d.severCut
+		if cut >= len(p) {
+			cut = len(p) - 1
+		}
+		var wrote int
+		if cut > 0 {
+			c.net.bytes.Add(int64(cut))
+			wrote, _ = c.Conn.Write(p[:cut])
+		}
+		c.net.severed.Add(1)
+		_ = c.Close()
+		return wrote, fmt.Errorf("%w: %d of %d bytes delivered", ErrSevered, wrote, len(p))
+	}
+	out := p
+	if d.corrupt {
+		out = plan.CorruptBytes(p)
+		c.net.corrupted.Add(1)
 	}
 	// Count before writing: a synchronous pipe can schedule the reader's
 	// continuation (and a Stats observer) before this goroutine resumes.
-	if len(p) > 0 {
-		c.net.bytes.Add(int64(len(p)))
+	if len(out) > 0 {
+		c.net.bytes.Add(int64(len(out)))
 		c.net.messages.Add(1)
 	}
-	n, err := c.Conn.Write(p)
-	if err != nil && n < len(p) {
-		c.net.bytes.Add(int64(n - len(p)))
+	n, err := c.Conn.Write(out)
+	if err != nil && n < len(out) {
+		c.net.bytes.Add(int64(n - len(out)))
+	}
+	if err == nil && d.duplicate {
+		c.net.duplicated.Add(1)
+		c.net.bytes.Add(int64(len(out)))
+		c.net.messages.Add(1)
+		if _, derr := c.Conn.Write(out); derr != nil {
+			c.net.bytes.Add(int64(-len(out)))
+			c.net.messages.Add(-1)
+		}
 	}
 	return n, err
 }

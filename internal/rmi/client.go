@@ -5,6 +5,7 @@ import (
 	"context"
 	"encoding/binary"
 	"fmt"
+	"math/rand"
 	"net"
 	"sync"
 	"time"
@@ -27,6 +28,11 @@ type Client struct {
 	mu    sync.Mutex
 	conns map[string]*transport.Conn
 
+	// retryRng draws backoff jitter; seeded by RetryPolicy.Seed so retry
+	// schedules are replayable in chaos runs.
+	retryMu  sync.Mutex
+	retryRng *rand.Rand
+
 	// local is the client's own server, required for exporting Remote
 	// arguments (callbacks) and for resolving references to local objects.
 	local *Server
@@ -37,7 +43,16 @@ func NewClient(dialer Dialer, opts Options) (*Client, error) {
 	if err := registerProtocolTypes(opts.registryOf()); err != nil {
 		return nil, err
 	}
-	return &Client{opts: opts, dialer: dialer, conns: make(map[string]*transport.Conn)}, nil
+	seed := opts.Retry.Seed
+	if seed == 0 {
+		seed = time.Now().UnixNano()
+	}
+	return &Client{
+		opts:     opts,
+		dialer:   dialer,
+		conns:    make(map[string]*transport.Conn),
+		retryRng: rand.New(rand.NewSource(seed)),
+	}, nil
 }
 
 // BindLocalServer attaches the client's own server, enabling Remote
@@ -159,7 +174,9 @@ func (st *Stub) CallStats(ctx context.Context, method string, args ...any) (*cor
 	return st.callStats(ctx, method, args...)
 }
 
-// callStats performs the actual invocation.
+// callStats performs the actual invocation. Arguments are encoded exactly
+// once; the retry layer (invoke) re-sends the identical request bytes, so
+// a retried call can never ship different state than the original.
 func (st *Stub) callStats(ctx context.Context, method string, args ...any) (*core.Response, error) {
 	c := st.c
 	marshalStart := time.Now()
@@ -184,19 +201,20 @@ func (st *Stub) callStats(ctx context.Context, method string, args ...any) (*cor
 	}
 	c.opts.Host.Charge(time.Since(marshalStart))
 
-	tc, err := c.conn(st.addr)
-	if err != nil {
-		return nil, err
-	}
-	payload, err := tc.Call(ctx, transport.MsgCall, req.Bytes())
+	payload, err := st.invoke(ctx, req.Bytes())
 	if err != nil {
 		return nil, err
 	}
 
+	// Response bytes are consumed from here on: whatever happens, this
+	// call is never re-sent (exactly-once restore). ApplyResponse itself
+	// decodes fully before mutating, so a failure below still leaves the
+	// caller's graph untouched — but it is not safe to re-run, and the
+	// error says so.
 	unmarshalStart := time.Now()
 	resp, err := call.ApplyResponse(bytes.NewReader(payload))
 	if err != nil {
-		return nil, err
+		return nil, &ResponseConsumedError{Method: method, Err: err}
 	}
 	c.opts.Host.Charge(time.Since(unmarshalStart))
 	return resp, nil

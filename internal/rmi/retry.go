@@ -1,0 +1,178 @@
+// Client resilience: the retry/timeout policy layer. Following the
+// separable-policy argument of the RAFDA line of work (and Schill et al.'s
+// interference-free network objects), failure handling lives here as
+// configuration rather than in application code — while staying inside the
+// paper's Section 6.2 constraint that failures themselves remain visible:
+// a call that exhausts its policy still returns its error.
+//
+// The invariant the layer must never break is exactly-once restore. A
+// copy-restore call mutates the caller's object graph only in
+// ApplyResponse, after the full response arrived; retrying a call whose
+// response bytes were already being consumed could interleave two
+// restores or re-execute against a half-observed outcome, so the client
+// refuses it categorically (ResponseConsumedError). Everything before
+// that point failed without touching the caller's graph and is fair game.
+package rmi
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"time"
+
+	"nrmi/internal/transport"
+)
+
+// RetryPolicy configures automatic re-sends of failed remote calls.
+// The zero value disables retries (every call gets exactly one attempt).
+type RetryPolicy struct {
+	// MaxAttempts is the total number of attempts per call, including the
+	// first; values below 2 disable retrying.
+	MaxAttempts int
+	// BaseDelay is the backoff before the second attempt (default 5ms).
+	BaseDelay time.Duration
+	// MaxDelay caps the backoff (default 500ms).
+	MaxDelay time.Duration
+	// Multiplier grows the backoff per attempt (default 2).
+	Multiplier float64
+	// Jitter spreads each backoff by ±Jitter fraction of itself (default
+	// 0.2), decorrelating clients that fail together.
+	Jitter float64
+	// Seed seeds the jitter generator, making a client's backoff schedule
+	// replayable; 0 seeds from the clock.
+	Seed int64
+}
+
+// Enabled reports whether the policy allows any re-sends.
+func (p RetryPolicy) Enabled() bool { return p.MaxAttempts > 1 }
+
+// withDefaults fills unset knobs.
+func (p RetryPolicy) withDefaults() RetryPolicy {
+	if p.BaseDelay <= 0 {
+		p.BaseDelay = 5 * time.Millisecond
+	}
+	if p.MaxDelay <= 0 {
+		p.MaxDelay = 500 * time.Millisecond
+	}
+	if p.Multiplier < 1 {
+		p.Multiplier = 2
+	}
+	if p.Jitter == 0 {
+		p.Jitter = 0.2
+	}
+	return p
+}
+
+// ResponseConsumedError marks a call that failed after response bytes
+// were consumed. The idempotency guard: such a call is never re-sent —
+// retrying it would violate exactly-once restore semantics — so the
+// failure always surfaces to the application.
+type ResponseConsumedError struct {
+	// Method is the remote method whose response failed to apply.
+	Method string
+	// Err is the decode or restore error.
+	Err error
+}
+
+// Error implements the error interface.
+func (e *ResponseConsumedError) Error() string {
+	return fmt.Sprintf("rmi: %s failed after response bytes were consumed (not retried): %v", e.Method, e.Err)
+}
+
+// Unwrap exposes the cause to errors.Is / errors.As.
+func (e *ResponseConsumedError) Unwrap() error { return e.Err }
+
+// Retryable reports whether a failed call may be safely re-sent under the
+// at-least-once contract:
+//
+//   - remote application errors are not: the method ran and said no;
+//   - consumed-response failures are not: exactly-once restore;
+//   - caller cancellation is not: the caller gave up;
+//   - everything else — dial errors, connection failures, per-attempt
+//     deadlines — is, because a failed attempt never touched the
+//     caller's graph (the §6.2 atomicity the chaos suite verifies).
+func Retryable(err error) bool {
+	if err == nil {
+		return false
+	}
+	var consumed *ResponseConsumedError
+	if errors.As(err, &consumed) {
+		return false
+	}
+	var remote *transport.RemoteError
+	if errors.As(err, &remote) {
+		return false
+	}
+	if errors.Is(err, context.Canceled) {
+		return false
+	}
+	return true
+}
+
+// backoff computes the pause before attempt+1, exponential with jitter.
+// The jitter draw comes from the client's seeded generator so schedules
+// replay under a fixed RetryPolicy.Seed.
+func (c *Client) backoff(pol RetryPolicy, attempt int) time.Duration {
+	d := float64(pol.BaseDelay) * math.Pow(pol.Multiplier, float64(attempt-1))
+	if lim := float64(pol.MaxDelay); d > lim {
+		d = lim
+	}
+	if pol.Jitter > 0 {
+		c.retryMu.Lock()
+		f := c.retryRng.Float64()
+		c.retryMu.Unlock()
+		d += d * pol.Jitter * (2*f - 1)
+	}
+	if d < 0 {
+		d = 0
+	}
+	return time.Duration(d)
+}
+
+// invoke sends an encoded request under the client's retry policy and
+// returns the raw reply payload. Every attempt re-sends the identical
+// bytes; arguments are never re-encoded, so a retry can never observe (or
+// export) different state than the original send. Once a reply payload is
+// returned, the caller owns the consumed-response guard.
+func (st *Stub) invoke(ctx context.Context, req []byte) ([]byte, error) {
+	c := st.c
+	pol := c.opts.Retry.withDefaults()
+	attempts := pol.MaxAttempts
+	if attempts < 1 {
+		attempts = 1
+	}
+	for attempt := 1; ; attempt++ {
+		payload, err := st.sendOnce(ctx, req)
+		if err == nil {
+			return payload, nil
+		}
+		if attempt >= attempts || !Retryable(err) || ctx.Err() != nil {
+			return nil, err
+		}
+		pause := time.NewTimer(c.backoff(pol, attempt))
+		select {
+		case <-pause.C:
+		case <-ctx.Done():
+			pause.Stop()
+			return nil, err
+		}
+	}
+}
+
+// sendOnce performs one attempt: resolve the pooled connection (dead
+// conns are evicted and re-dialed, the reconnect path) and issue the
+// framed call under the per-attempt deadline.
+func (st *Stub) sendOnce(ctx context.Context, req []byte) ([]byte, error) {
+	c := st.c
+	if c.opts.CallTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, c.opts.CallTimeout)
+		defer cancel()
+	}
+	tc, err := c.conn(st.addr)
+	if err != nil {
+		return nil, err
+	}
+	return tc.Call(ctx, transport.MsgCall, req)
+}

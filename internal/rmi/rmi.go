@@ -27,6 +27,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"time"
 
 	"nrmi/internal/core"
 	"nrmi/internal/netsim"
@@ -121,6 +122,14 @@ type Options struct {
 	// by returning without invoking next, or wrap errors. Compose multiple
 	// concerns by nesting inside one function.
 	Intercept Interceptor
+	// Retry configures automatic re-sends of failed outbound calls; see
+	// RetryPolicy and Retryable for what qualifies. The zero value makes
+	// every call a single attempt.
+	Retry RetryPolicy
+	// CallTimeout bounds each call attempt; an attempt that exceeds it
+	// fails with a deadline error (and is retried under Retry). Zero
+	// leaves deadlines entirely to the caller's context.
+	CallTimeout time.Duration
 }
 
 // CallInfo identifies one invocation for interceptors.

@@ -1,0 +1,175 @@
+package transport
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"nrmi/internal/netsim"
+)
+
+// TestCallErrorClassification drives Call into each failure phase and
+// checks the typed error the resilience layer keys its retry decisions on.
+func TestCallErrorClassification(t *testing.T) {
+	cases := []struct {
+		name        string
+		run         func(t *testing.T) error
+		wantPhase   string
+		wantSent    bool
+		wantTimeout bool
+		wantIs      error
+	}{
+		{
+			name: "closed conn refuses before send",
+			run: func(t *testing.T) error {
+				c := startPair(t, func(byte, []byte) ([]byte, error) { return nil, nil })
+				if err := c.Close(); err != nil {
+					t.Fatal(err)
+				}
+				_, err := c.Call(context.Background(), MsgCall, nil)
+				return err
+			},
+			wantPhase: PhaseSend,
+			wantSent:  false,
+			wantIs:    ErrClosed,
+		},
+		{
+			name: "pre-expired context never sends",
+			run: func(t *testing.T) error {
+				c := startPair(t, func(byte, []byte) ([]byte, error) { return nil, nil })
+				ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+				defer cancel()
+				_, err := c.Call(ctx, MsgCall, []byte("x"))
+				return err
+			},
+			wantPhase:   PhaseSend,
+			wantSent:    false,
+			wantTimeout: true,
+			wantIs:      context.DeadlineExceeded,
+		},
+		{
+			name: "reply withheld until deadline",
+			run: func(t *testing.T) error {
+				block := make(chan struct{})
+				c := startPair(t, func(byte, []byte) ([]byte, error) {
+					<-block
+					return nil, nil
+				})
+				// Registered after startPair so it runs before srv.Close,
+				// which waits for in-flight handlers.
+				t.Cleanup(func() { close(block) })
+				ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+				defer cancel()
+				_, err := c.Call(ctx, MsgCall, []byte("x"))
+				return err
+			},
+			wantPhase:   PhaseAwait,
+			wantSent:    true,
+			wantTimeout: true,
+			wantIs:      context.DeadlineExceeded,
+		},
+		{
+			name: "peer dies while awaiting reply",
+			run: func(t *testing.T) error {
+				started := make(chan *Conn, 1)
+				c := startPair(t, func(byte, []byte) ([]byte, error) {
+					cc := <-started
+					_ = cc.c.Close() // tear the wire under the in-flight call
+					return nil, errors.New("unreachable reply")
+				})
+				started <- c
+				ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+				defer cancel()
+				_, err := c.Call(ctx, MsgCall, []byte("x"))
+				return err
+			},
+			wantPhase: PhaseAwait,
+			wantSent:  true,
+		},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.run(t)
+			var ce *CallError
+			if !errors.As(err, &ce) {
+				t.Fatalf("want *CallError, got %T: %v", err, err)
+			}
+			if ce.Phase != tc.wantPhase || ce.Sent != tc.wantSent {
+				t.Fatalf("classified (%s, sent=%t), want (%s, sent=%t): %v",
+					ce.Phase, ce.Sent, tc.wantPhase, tc.wantSent, err)
+			}
+			if ce.Timeout() != tc.wantTimeout {
+				t.Fatalf("Timeout() = %t, want %t: %v", ce.Timeout(), tc.wantTimeout, err)
+			}
+			if tc.wantIs != nil && !errors.Is(err, tc.wantIs) {
+				t.Fatalf("errors.Is(%v, %v) = false", err, tc.wantIs)
+			}
+		})
+	}
+}
+
+// TestDeadlineExpiresMidWrite pins the contract for a context that dies
+// while the request frame is still being written: a netsim delay fault
+// holds the frame past the deadline, the frame completes (single-Write
+// framing is never torn by a deadline), and the failure is then reported
+// as an await-phase timeout with Sent=true.
+func TestDeadlineExpiresMidWrite(t *testing.T) {
+	const hold = 120 * time.Millisecond
+	n := netsim.NewNetwork(netsim.Loopback())
+	defer n.Close()
+	// Delay both the request and the reply so the reply cannot win the
+	// race against the already-expired context.
+	n.SetFaults("srv", netsim.NewPlan(1).DelayFrame(1, hold).DelayFrame(2, hold))
+	ln, err := n.Listen("srv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := Serve(ln, func(_ byte, payload []byte) ([]byte, error) { return payload, nil })
+	defer srv.Close()
+	nc, err := n.Dial("srv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewConn(nc)
+	defer c.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err = c.Call(ctx, MsgCall, []byte("held"))
+	elapsed := time.Since(start)
+
+	var ce *CallError
+	if !errors.As(err, &ce) {
+		t.Fatalf("want *CallError, got %T: %v", err, err)
+	}
+	if ce.Phase != PhaseAwait || !ce.Sent || !ce.Timeout() {
+		t.Fatalf("want await-phase sent timeout, got %v", err)
+	}
+	if elapsed < hold {
+		t.Fatalf("call returned after %v; the delayed frame write must complete first (%v)", elapsed, hold)
+	}
+	// The connection survives a deadline: it is still healthy.
+	if c.Err() != nil {
+		t.Fatalf("deadline must not poison the conn: %v", c.Err())
+	}
+}
+
+// TestConnErrHealth checks the Err health accessor across the lifecycle.
+func TestConnErrHealth(t *testing.T) {
+	c := startPair(t, func(_ byte, payload []byte) ([]byte, error) { return payload, nil })
+	if err := c.Err(); err != nil {
+		t.Fatalf("fresh conn unhealthy: %v", err)
+	}
+	if _, err := c.Call(context.Background(), MsgCall, []byte("ok")); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Err(); !errors.Is(err, ErrClosed) {
+		t.Fatalf("closed conn must report ErrClosed, got %v", err)
+	}
+}

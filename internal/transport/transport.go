@@ -82,6 +82,45 @@ type RemoteError struct {
 // Error implements the error interface.
 func (e *RemoteError) Error() string { return "remote: " + e.Msg }
 
+// Call phases recorded in CallError.
+const (
+	// PhaseSend covers everything before the request frame was fully
+	// written; the server cannot have seen the call.
+	PhaseSend = "send"
+	// PhaseAwait covers waiting for the reply; the server may or may not
+	// have executed the call.
+	PhaseAwait = "await"
+)
+
+// CallError classifies a failed Call for the resilience layers above the
+// transport: Phase says how far the call got, and Sent reports whether
+// the request frame was fully written. A retry of an unsent request can
+// never double-execute; a retry of a sent one is at-least-once territory
+// and is the caller's policy decision.
+type CallError struct {
+	// Phase is PhaseSend or PhaseAwait.
+	Phase string
+	// Sent reports whether the request frame was fully written. Frames go
+	// out in a single Write, so a failed write means the peer never saw a
+	// complete frame and cannot have dispatched the call.
+	Sent bool
+	// Err is the underlying cause: a context error, an I/O error, or
+	// ErrClosed.
+	Err error
+}
+
+// Error implements the error interface.
+func (e *CallError) Error() string {
+	return fmt.Sprintf("transport: call failed (%s, sent=%t): %v", e.Phase, e.Sent, e.Err)
+}
+
+// Unwrap exposes the cause to errors.Is / errors.As.
+func (e *CallError) Unwrap() error { return e.Err }
+
+// Timeout reports whether the call failed by deadline expiry, the typed
+// surface for per-call deadlines.
+func (e *CallError) Timeout() bool { return errors.Is(e.Err, context.DeadlineExceeded) }
+
 // frame is one decoded protocol frame.
 type frame struct {
 	msgType byte
@@ -172,7 +211,7 @@ func readFrame(r io.Reader) (frame, error) {
 // request id.
 type Conn struct {
 	c        net.Conn
-	compress bool
+	compress atomic.Bool
 
 	writeMu sync.Mutex
 	nextID  atomic.Uint64
@@ -194,7 +233,7 @@ func NewConn(c net.Conn) *Conn {
 // EnableCompression turns on DEFLATE compression for outbound frames above
 // 1 KiB. Receivers inflate transparently, so either side may enable it
 // independently.
-func (c *Conn) EnableCompression() { c.compress = true }
+func (c *Conn) EnableCompression() { c.compress.Store(true) }
 
 func (c *Conn) readLoop() {
 	for {
@@ -237,9 +276,28 @@ func (c *Conn) IsClosed() bool {
 	return c.closed
 }
 
+// Err is the connection health check: it returns nil while the connection
+// is usable and the terminal error once it has failed or been closed.
+func (c *Conn) Err() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if !c.closed {
+		return nil
+	}
+	if c.err != nil {
+		return c.err
+	}
+	return ErrClosed
+}
+
 // Call sends one request frame and blocks for its reply (or ctx
-// expiration). An error-flagged reply surfaces as *RemoteError.
+// expiration). An error-flagged reply surfaces as *RemoteError; every
+// transport-level failure surfaces as *CallError, whose Sent field tells
+// retry layers whether the server could have seen the request.
 func (c *Conn) Call(ctx context.Context, msgType byte, payload []byte) ([]byte, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, &CallError{Phase: PhaseSend, Err: err}
+	}
 	c.mu.Lock()
 	if c.closed {
 		err := c.err
@@ -247,7 +305,7 @@ func (c *Conn) Call(ctx context.Context, msgType byte, payload []byte) ([]byte, 
 		if err == nil {
 			err = ErrClosed
 		}
-		return nil, err
+		return nil, &CallError{Phase: PhaseSend, Err: err}
 	}
 	id := c.nextID.Add(1)
 	ch := make(chan frame, 1)
@@ -255,13 +313,24 @@ func (c *Conn) Call(ctx context.Context, msgType byte, payload []byte) ([]byte, 
 	c.mu.Unlock()
 
 	c.writeMu.Lock()
-	err := writeFrame(c.c, frame{msgType: msgType, reqID: id, payload: payload}, c.compress)
+	err := writeFrame(c.c, frame{msgType: msgType, reqID: id, payload: payload}, c.compress.Load())
 	c.writeMu.Unlock()
 	if err != nil {
 		c.mu.Lock()
 		delete(c.pending, id)
 		c.mu.Unlock()
-		return nil, err
+		if !errors.Is(err, ErrFrameTooLarge) {
+			// The write may have left a partial frame on the wire; the
+			// stream can no longer be trusted, so the connection is
+			// terminal (pools see IsClosed and re-dial). Oversized
+			// payloads are rejected before any byte goes out and leave
+			// the conn usable.
+			c.failAll(err)
+			_ = c.c.Close()
+		}
+		// A partial frame is indistinguishable from no frame to the peer's
+		// framing layer, so the call was provably not dispatched.
+		return nil, &CallError{Phase: PhaseSend, Err: err}
 	}
 
 	select {
@@ -273,7 +342,7 @@ func (c *Conn) Call(ctx context.Context, msgType byte, payload []byte) ([]byte, 
 			if err == nil {
 				err = ErrClosed
 			}
-			return nil, err
+			return nil, &CallError{Phase: PhaseAwait, Sent: true, Err: err}
 		}
 		if f.flags&flagError != 0 {
 			return nil, &RemoteError{Msg: string(f.payload)}
@@ -283,7 +352,7 @@ func (c *Conn) Call(ctx context.Context, msgType byte, payload []byte) ([]byte, 
 		c.mu.Lock()
 		delete(c.pending, id)
 		c.mu.Unlock()
-		return nil, ctx.Err()
+		return nil, &CallError{Phase: PhaseAwait, Sent: true, Err: ctx.Err()}
 	}
 }
 
@@ -303,7 +372,7 @@ type Handler func(msgType byte, payload []byte) ([]byte, error)
 type Server struct {
 	ln       net.Listener
 	handler  Handler
-	compress bool
+	compress atomic.Bool
 
 	mu     sync.Mutex
 	conns  map[net.Conn]struct{}
@@ -321,8 +390,8 @@ func Serve(ln net.Listener, h Handler) *Server {
 }
 
 // EnableCompression turns on DEFLATE compression for outbound replies
-// above 1 KiB. Call before traffic arrives.
-func (s *Server) EnableCompression() { s.compress = true }
+// above 1 KiB.
+func (s *Server) EnableCompression() { s.compress.Store(true) }
 
 func (s *Server) acceptLoop() {
 	defer s.wg.Done()
@@ -372,7 +441,7 @@ func (s *Server) serveConn(c net.Conn) {
 				out.payload = reply
 			}
 			writeMu.Lock()
-			_ = writeFrame(c, out, s.compress)
+			_ = writeFrame(c, out, s.compress.Load())
 			writeMu.Unlock()
 		}(f)
 	}

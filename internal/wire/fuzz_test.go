@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"nrmi/internal/graph"
+	"nrmi/internal/netsim"
 )
 
 // FuzzDecode throws arbitrary bytes at the decoder: it must return errors,
@@ -21,6 +22,7 @@ func FuzzDecode(f *testing.F) {
 	if err := reg.Register("inner", inner{}); err != nil {
 		f.Fatal(err)
 	}
+	var streams [][]byte
 	seed := func(v any, eng Engine) {
 		var buf bytes.Buffer
 		enc := NewEncoder(&buf, Options{Engine: eng, Registry: reg})
@@ -30,6 +32,7 @@ func FuzzDecode(f *testing.F) {
 		if err := enc.Flush(); err != nil {
 			f.Fatal(err)
 		}
+		streams = append(streams, buf.Bytes())
 		f.Add(buf.Bytes())
 	}
 	shared := &wnode{Data: 7}
@@ -42,6 +45,20 @@ func FuzzDecode(f *testing.F) {
 	f.Add([]byte{})
 	f.Add([]byte{headerMagic})
 	f.Add([]byte{headerMagic, byte(EngineV2), 0, tagRef, 0xFF})
+	// Damaged variants of every valid stream, mirroring what the netsim
+	// corrupt and sever faults deliver on the wire: a few flipped bits at
+	// seeded positions, and truncations at every framing-hostile cut.
+	corrupter := netsim.NewPlan(1701)
+	for _, s := range streams {
+		for i := 0; i < 3; i++ {
+			f.Add(corrupter.CorruptBytes(s))
+		}
+		for _, cut := range []int{1, len(s) / 2, len(s) - 1} {
+			if cut > 0 && cut < len(s) {
+				f.Add(s[:cut])
+			}
+		}
+	}
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		dec := NewDecoder(bytes.NewReader(data), Options{Registry: reg, MaxElems: 1 << 12})

@@ -51,6 +51,7 @@ package nrmi
 
 import (
 	"net"
+	"time"
 
 	"nrmi/internal/core"
 	"nrmi/internal/graph"
@@ -138,6 +139,15 @@ type Options struct {
 	// client, inbound on a server) for logging, metrics, or policy. The
 	// interceptor may veto by returning without calling next.
 	Intercept Interceptor
+	// Retry configures automatic re-sends of failed outbound calls; see
+	// RetryPolicy and Retryable. The zero value disables retries. A call
+	// whose response bytes were already consumed is never re-sent,
+	// preserving exactly-once restore (see docs/PROTOCOL.md, section 7).
+	Retry RetryPolicy
+	// CallTimeout bounds each call attempt; attempts exceeding it fail
+	// with a deadline error and are retried under Retry. Zero leaves
+	// deadlines entirely to the caller's context.
+	CallTimeout time.Duration
 }
 
 // CallInfo identifies one invocation for interceptors.
@@ -145,6 +155,18 @@ type CallInfo = rmi.CallInfo
 
 // Interceptor wraps an invocation; call next to proceed.
 type Interceptor = rmi.Interceptor
+
+// RetryPolicy configures automatic re-sends of failed remote calls:
+// attempt count, exponential backoff, jitter, and a replayable seed.
+type RetryPolicy = rmi.RetryPolicy
+
+// ResponseConsumedError marks a call that failed after its response bytes
+// were consumed; such calls are never retried (exactly-once restore).
+type ResponseConsumedError = rmi.ResponseConsumedError
+
+// Retryable reports whether a failed call may safely be re-sent; see the
+// rmi layer documentation for the classification rules.
+func Retryable(err error) bool { return rmi.Retryable(err) }
 
 // rmiOptions lowers public options onto the internal stack.
 func (o Options) rmiOptions() rmi.Options {
@@ -165,9 +187,11 @@ func (o Options) rmiOptions() rmi.Options {
 			Delta:            o.Delta,
 			DisablePlanCache: o.Portable,
 		},
-		WrapRef:   o.WrapRef,
-		Compress:  o.Compress,
-		Intercept: o.Intercept,
+		WrapRef:     o.WrapRef,
+		Compress:    o.Compress,
+		Intercept:   o.Intercept,
+		Retry:       o.Retry,
+		CallTimeout: o.CallTimeout,
 	}
 }
 
@@ -214,3 +238,22 @@ func NewSimNetwork(p SimProfile) *SimNetwork { return netsim.NewNetwork(p) }
 
 // LAN100Mbps approximates the paper's experimental network.
 func LAN100Mbps() SimProfile { return netsim.LAN100Mbps() }
+
+// SimFaultPlan is a deterministic per-link fault schedule for a simulated
+// network: dropped, delayed, duplicated, corrupted, and severed frames,
+// all derived from a seed so runs replay exactly.
+type SimFaultPlan = netsim.Plan
+
+// SimFaultRates sets per-frame fault probabilities for random plans.
+type SimFaultRates = netsim.Rates
+
+// NewSimFaultPlan returns an empty fault plan; chain DropFrame, DelayFrame,
+// DuplicateFrame, CorruptFrame, and SeverFrame to schedule fixed faults.
+// Attach it to a link with SimNetwork.SetFaults.
+func NewSimFaultPlan(seed int64) *SimFaultPlan { return netsim.NewPlan(seed) }
+
+// RandomSimFaultPlan returns a plan injecting faults at the given rates,
+// drawn from a generator seeded with seed.
+func RandomSimFaultPlan(seed int64, rates SimFaultRates) *SimFaultPlan {
+	return netsim.RandomPlan(seed, rates)
+}
