@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race chaos cover bench tables verify-tables loc examples fuzz clean
+.PHONY: all build test race lint chaos cover bench tables verify-tables loc examples fuzz clean
 
 all: build test
 
@@ -10,9 +10,14 @@ build:
 	$(GO) build ./...
 	$(GO) vet ./...
 
-test:
+test: lint
 	$(GO) vet ./...
 	$(GO) test -race ./...
+
+# Static copy-restore invariant checks (docs/LINT.md). Exits nonzero on
+# any finding, so CI fails before a misdeclared type fails at runtime.
+lint:
+	$(GO) run ./cmd/nrmi-vet ./...
 
 race:
 	$(GO) test -race ./...
@@ -36,8 +41,11 @@ bench:
 tables:
 	$(GO) run ./cmd/nrmi-bench
 
-# Same, with the restore invariant re-verified in every cell.
+# Same, with the restore invariant re-verified in every cell, and the
+# static invariants re-checked first.
 verify-tables:
+	$(GO) vet ./...
+	$(GO) run ./cmd/nrmi-vet ./...
 	$(GO) run ./cmd/nrmi-bench -verify
 
 # The usability lines-of-code report (paper Section 5.3.2).

@@ -82,3 +82,89 @@ func TestChainInterceptors(t *testing.T) {
 		t.Fatal("vetoed chain must not reach the call")
 	}
 }
+
+func TestChainInterceptorsZeroAndOne(t *testing.T) {
+	ctx := context.Background()
+
+	// Zero interceptors: the chain is a transparent pass-through.
+	calls := 0
+	empty := nrmi.ChainInterceptors()
+	err := empty(ctx, nrmi.CallInfo{}, func(context.Context) error {
+		calls++
+		return nil
+	})
+	if err != nil || calls != 1 {
+		t.Fatalf("empty chain: err=%v calls=%d, want nil/1", err, calls)
+	}
+	sentinel := errors.New("inner failed")
+	if err := empty(ctx, nrmi.CallInfo{}, func(context.Context) error { return sentinel }); !errors.Is(err, sentinel) {
+		t.Fatalf("empty chain must forward the inner error, got %v", err)
+	}
+
+	// One interceptor: wraps the call exactly once, both directions.
+	var order []string
+	single := nrmi.ChainInterceptors(func(ctx context.Context, info nrmi.CallInfo, next func(context.Context) error) error {
+		order = append(order, "pre")
+		err := next(ctx)
+		order = append(order, "post")
+		return err
+	})
+	err = single(ctx, nrmi.CallInfo{}, func(context.Context) error {
+		order = append(order, "call")
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Join(order, ","); got != "pre,call,post" {
+		t.Fatalf("single chain order = %s", got)
+	}
+}
+
+func TestChainInterceptorsShortCircuitWithoutNext(t *testing.T) {
+	// An interceptor that returns without calling next short-circuits
+	// the whole chain: later interceptors and the call itself never
+	// run, and the caller sees exactly the interceptor's return value.
+	// This is the runtime behavior nrmi-vet's interceptor-discipline
+	// check formalizes: vetoing with a non-nil error is the supported
+	// pattern, while returning nil without calling next (also pinned
+	// here) silently reports success for a call that never happened —
+	// which is why the linter flags it.
+	ctx := context.Background()
+	var reached []string
+	record := func(name string) nrmi.Interceptor {
+		return func(ctx context.Context, info nrmi.CallInfo, next func(context.Context) error) error {
+			reached = append(reached, name)
+			return next(ctx)
+		}
+	}
+
+	veto := errors.New("not allowed")
+	chain := nrmi.ChainInterceptors(
+		record("outer"),
+		func(context.Context, nrmi.CallInfo, func(context.Context) error) error { return veto },
+		record("inner"),
+	)
+	called := false
+	err := chain(ctx, nrmi.CallInfo{}, func(context.Context) error { called = true; return nil })
+	if !errors.Is(err, veto) {
+		t.Fatalf("veto error lost: %v", err)
+	}
+	if called || strings.Join(reached, ",") != "outer" {
+		t.Fatalf("short-circuit leaked past the veto: called=%v reached=%v", called, reached)
+	}
+
+	// The nil-returning drop: current behavior is a silent success.
+	reached = nil
+	drop := nrmi.ChainInterceptors(
+		record("outer"),
+		func(context.Context, nrmi.CallInfo, func(context.Context) error) error { return nil },
+	)
+	called = false
+	if err := drop(ctx, nrmi.CallInfo{}, func(context.Context) error { called = true; return nil }); err != nil {
+		t.Fatalf("nil drop must report success today: %v", err)
+	}
+	if called {
+		t.Fatal("dropped call must not reach the target")
+	}
+}

@@ -1,0 +1,52 @@
+package graph
+
+import (
+	"fmt"
+	"reflect"
+)
+
+// CheckType verifies statically (per type, not per value) that values of
+// type t can participate in a copy-restore graph: no field, element, or
+// pointee anywhere in the type closure has a kind the walker rejects
+// (chan, func, unsafe.Pointer, uintptr). It is the runtime twin of the
+// nrmi-vet restorable-closure check and backs wire's RegisterStrict:
+// programs that bypass the linter fail at registration time instead of
+// mid-call.
+//
+// Interface-typed fields are opaque — their dynamic contents are checked
+// per value during traversal (and per registration under RegisterStrict).
+// The error names the offending path from the root type, e.g.
+// "Order.Events".
+func CheckType(t reflect.Type) error {
+	return checkTypeRec(t, t.String(), make(map[reflect.Type]bool))
+}
+
+func checkTypeRec(t reflect.Type, path string, seen map[reflect.Type]bool) error {
+	if seen[t] {
+		return nil
+	}
+	seen[t] = true
+	if forbiddenKind(t.Kind()) {
+		return fmt.Errorf("%w: %s has kind %s (%s)", ErrNotSerializable, path, t.Kind(), t)
+	}
+	switch t.Kind() {
+	case reflect.Ptr, reflect.Slice, reflect.Array:
+		return checkTypeRec(t.Elem(), path, seen)
+	case reflect.Map:
+		if err := checkTypeRec(t.Key(), path+"[key]", seen); err != nil {
+			return err
+		}
+		return checkTypeRec(t.Elem(), path+"[value]", seen)
+	case reflect.Struct:
+		for i := 0; i < t.NumField(); i++ {
+			f := t.Field(i)
+			if err := checkTypeRec(f.Type, path+"."+f.Name, seen); err != nil {
+				return err
+			}
+		}
+		return nil
+	default:
+		// Scalars, strings, and interfaces (opaque until a value arrives).
+		return nil
+	}
+}

@@ -176,7 +176,10 @@ func (w *Walker) visitContents(v reflect.Value, depth int) error {
 		}
 		return nil
 	default:
-		panic(fmt.Sprintf("graph: visitContents on %s", v.Kind()))
+		// Reachable only through a malformed Object (Ref of a non-identity
+		// kind); report it like any other unserializable value so callers
+		// can surface the failure instead of crashing the endpoint.
+		return fmt.Errorf("%w: visitContents on non-identity kind %s", ErrNotSerializable, v.Kind())
 	}
 }
 

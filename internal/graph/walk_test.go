@@ -3,6 +3,7 @@ package graph
 import (
 	"errors"
 	"reflect"
+	"strings"
 	"testing"
 )
 
@@ -325,5 +326,23 @@ func TestKindAndModeStrings(t *testing.T) {
 	}
 	if Kind(99).String() == "" || AccessMode(99).String() == "" {
 		t.Fatal("unknown values must still stringify")
+	}
+}
+
+func TestVisitContentsMalformedValueErrors(t *testing.T) {
+	// Driving visitContents with a non-identity kind (only possible
+	// through a malformed Object) used to panic; it must now surface as
+	// a reportable ErrNotSerializable so a corrupted linear map cannot
+	// crash an endpoint mid-call.
+	w := NewWalker(AccessExported)
+	err := w.visitContents(reflect.ValueOf(42), 0)
+	if err == nil {
+		t.Fatal("malformed value must be rejected, not panic")
+	}
+	if !errors.Is(err, ErrNotSerializable) {
+		t.Fatalf("want ErrNotSerializable, got %v", err)
+	}
+	if !strings.Contains(err.Error(), "int") {
+		t.Fatalf("error must name the offending kind: %v", err)
 	}
 }

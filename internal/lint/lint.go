@@ -1,0 +1,106 @@
+// Package lint is nrmi-vet's analysis engine: a stdlib-only static
+// analyzer (go/parser, go/ast, go/types — no golang.org/x/tools) that
+// moves NRMI's copy-restore contract violations from runtime to build
+// time. The Java original leaned on javac and rmic to reject malformed
+// remote interfaces before deployment; this package is the Go analog for
+// the invariants the runtime layers enforce deep inside a call:
+//
+//   - restorable-closure: the type closure of every Restorable type must
+//     stay inside the kinds the graph walker accepts (the static mirror of
+//     checkLeafType/visitContents in internal/graph/walk.go);
+//   - registry-coverage: every named concrete type reachable from a
+//     remote-call signature must be registered with the wire registry;
+//   - interceptor-discipline: an Interceptor must invoke next exactly
+//     once on every path that reports success;
+//   - guarded-escape: a Guarded.With closure must not leak the root
+//     outside the critical section.
+//
+// Each check has a stable ID usable with nrmi-vet's -checks flag, and a
+// testdata package under testdata/src/<id> exercising it.
+package lint
+
+import (
+	"fmt"
+	"go/token"
+	"sort"
+)
+
+// Diagnostic is one finding, positioned for file:line reporting.
+type Diagnostic struct {
+	// Pos locates the offending syntax.
+	Pos token.Position
+	// Check is the stable check ID that produced the finding.
+	Check string
+	// Message describes the violation and its runtime consequence.
+	Message string
+}
+
+// String formats the diagnostic in the conventional path:line:col form.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s [%s]", d.Pos, d.Message, d.Check)
+}
+
+// Check is one registered analysis.
+type Check struct {
+	// ID is the stable identifier (e.g. "restorable-closure").
+	ID string
+	// Doc is a one-line description for -list output.
+	Doc string
+	// Run analyzes one type-checked package.
+	Run func(p *Package) []Diagnostic
+}
+
+// Checks returns the full catalog in reporting order.
+func Checks() []Check {
+	return []Check{
+		{
+			ID:  "restorable-closure",
+			Doc: "Restorable type closures must avoid chan/func/unsafe.Pointer/uintptr and unexported pointer-bearing state",
+			Run: checkRestorableClosure,
+		},
+		{
+			ID:  "registry-coverage",
+			Doc: "named types reachable from remote-call signatures must be registered; no conflicting registrations",
+			Run: checkRegistryCoverage,
+		},
+		{
+			ID:  "interceptor-discipline",
+			Doc: "interceptors must invoke next exactly once on every successful path",
+			Run: checkInterceptorDiscipline,
+		},
+		{
+			ID:  "guarded-escape",
+			Doc: "Guarded.With closures must not leak the root outside the critical section",
+			Run: checkGuardedEscape,
+		},
+	}
+}
+
+// Run applies the enabled checks to every package and returns the
+// combined findings sorted by position. A nil or empty enable set runs
+// everything.
+func Run(pkgs []*Package, enabled map[string]bool) []Diagnostic {
+	var diags []Diagnostic
+	for _, c := range Checks() {
+		if len(enabled) > 0 && !enabled[c.ID] {
+			continue
+		}
+		for _, p := range pkgs {
+			diags = append(diags, c.Run(p)...)
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Message < b.Message
+	})
+	return diags
+}

@@ -1,0 +1,194 @@
+package lint
+
+import (
+	"fmt"
+	"go/token"
+	"go/types"
+)
+
+// hasMarkerMethod reports whether *T (or T) has a niladic method with the
+// given name — the structural test for the NRMIRestorable / NRMIRemote
+// marker interfaces, matched by shape so analysis does not require the
+// analyzed package to import nrmi.
+func hasMarkerMethod(t types.Type, name string) bool {
+	obj, _, _ := types.LookupFieldOrMethod(types.NewPointer(t), true, nil, name)
+	fn, ok := obj.(*types.Func)
+	if !ok {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	return ok && sig.Params().Len() == 0 && sig.Results().Len() == 0
+}
+
+// isRestorable reports whether t carries the copy-restore marker.
+func isRestorable(t types.Type) bool { return hasMarkerMethod(t, "NRMIRestorable") }
+
+// isByReference reports whether values of t cross the wire as remote
+// references rather than copies: the Remote marker or a RefHolder proxy.
+// Their contents never enter a copy-restore graph.
+func isByReference(t types.Type) bool {
+	return hasMarkerMethod(t, "NRMIRemote") || hasRefHolderMethod(t)
+}
+
+// hasRefHolderMethod matches the RefHolder shape: NRMIRef() *RemoteRef.
+func hasRefHolderMethod(t types.Type) bool {
+	obj, _, _ := types.LookupFieldOrMethod(types.NewPointer(t), true, nil, "NRMIRef")
+	fn, ok := obj.(*types.Func)
+	if !ok {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	return ok && sig.Params().Len() == 0 && sig.Results().Len() == 1
+}
+
+// forbiddenKindName classifies types the graph walker rejects outright
+// (the static mirror of forbiddenKind in internal/graph): chan, func,
+// unsafe.Pointer, and uintptr. It returns a human name and true for
+// forbidden types.
+func forbiddenKindName(t types.Type) (string, bool) {
+	switch u := t.Underlying().(type) {
+	case *types.Chan:
+		return "chan", true
+	case *types.Signature:
+		return "func", true
+	case *types.Basic:
+		switch u.Kind() {
+		case types.Uintptr:
+			return "uintptr", true
+		case types.UnsafePointer:
+			return "unsafe.Pointer", true
+		}
+	}
+	return "", false
+}
+
+// pointerBearing reports whether values of t can contain (directly or
+// transitively, by value) pointers, maps, slices, interfaces, or other
+// reference state — the static mirror of hasIdentityBearing in
+// internal/graph/walk.go. Type parameters are treated as opaque.
+func pointerBearing(t types.Type) bool {
+	return pointerBearingRec(t, make(map[types.Type]bool))
+}
+
+func pointerBearingRec(t types.Type, seen map[types.Type]bool) bool {
+	t = types.Unalias(t)
+	if seen[t] {
+		return false
+	}
+	seen[t] = true
+	switch u := t.Underlying().(type) {
+	case *types.Pointer, *types.Map, *types.Slice, *types.Interface,
+		*types.Chan, *types.Signature:
+		return true
+	case *types.Basic:
+		return u.Kind() == types.UnsafePointer
+	case *types.Array:
+		return pointerBearingRec(u.Elem(), seen)
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if pointerBearingRec(u.Field(i).Type(), seen) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// checkRestorableClosure implements the restorable-closure check: for
+// every type in p that implements Restorable, walk its full type closure
+// and flag (a) fields whose kind the graph walker will reject with
+// ErrNotSerializable at runtime, and (b) unexported pointer-bearing
+// fields, which the exported-fields copier cannot restore (they fail
+// with ErrUnexportedField when non-zero, or silently lose server-side
+// mutations under UnsafeAccess-free configurations).
+func checkRestorableClosure(p *Package) []Diagnostic {
+	if p.Pkg == nil {
+		return nil
+	}
+	var diags []Diagnostic
+	emitted := make(map[string]bool)
+	emit := func(pos token.Pos, msg string) {
+		position := p.Fset.Position(pos)
+		key := position.String() + "\x00" + msg
+		if emitted[key] {
+			return
+		}
+		emitted[key] = true
+		diags = append(diags, Diagnostic{Pos: position, Check: "restorable-closure", Message: msg})
+	}
+
+	scope := p.Pkg.Scope()
+	for _, name := range scope.Names() {
+		tn, ok := scope.Lookup(name).(*types.TypeName)
+		if !ok || tn.IsAlias() {
+			continue
+		}
+		named, ok := tn.Type().(*types.Named)
+		if !ok || !isRestorable(named) {
+			continue
+		}
+		walkRestorableClosure(p, named, tn.Pos(), emit)
+	}
+	return diags
+}
+
+// walkRestorableClosure traverses the type closure of the restorable
+// root, reporting at the offending field's declaration when it lives in
+// the analyzed package, or at the root type otherwise.
+func walkRestorableClosure(p *Package, root *types.Named, rootPos token.Pos, emit func(token.Pos, string)) {
+	rootName := root.Obj().Name()
+	seen := make(map[types.Type]bool)
+
+	var walk func(t types.Type, path string, pos token.Pos)
+	walk = func(t types.Type, path string, pos token.Pos) {
+		t = types.Unalias(t)
+		if seen[t] {
+			return
+		}
+		seen[t] = true
+
+		if kind, bad := forbiddenKindName(t); bad {
+			emit(pos, fmt.Sprintf(
+				"restorable type %s: %s has kind %s (%s), which the copy-restore graph walker rejects with ErrNotSerializable",
+				rootName, path, kind, t))
+			return
+		}
+
+		switch u := t.(type) {
+		case *types.Named:
+			if isByReference(u) {
+				return // travels as a remote reference, never copied
+			}
+			walk(u.Underlying(), path, pos)
+		case *types.Pointer:
+			walk(u.Elem(), path, pos)
+		case *types.Slice:
+			walk(u.Elem(), path+"[i]", pos)
+		case *types.Array:
+			walk(u.Elem(), path+"[i]", pos)
+		case *types.Map:
+			walk(u.Key(), path+"[key]", pos)
+			walk(u.Elem(), path+"[value]", pos)
+		case *types.Struct:
+			for i := 0; i < u.NumFields(); i++ {
+				f := u.Field(i)
+				fpath := path + "." + f.Name()
+				fpos := pos
+				if f.Pkg() == p.Pkg {
+					fpos = f.Pos()
+				}
+				if !f.Exported() && pointerBearing(f.Type()) {
+					emit(fpos, fmt.Sprintf(
+						"restorable type %s: unexported field %s holds pointer-bearing state the exported-fields restore cannot reach (export it, or require UnsafeAccess on both endpoints)",
+						rootName, fpath))
+				}
+				walk(f.Type(), fpath, fpos)
+			}
+		case *types.Interface, *types.TypeParam:
+			// Dynamic or parametric contents: unknowable statically.
+			// Concrete types behind interfaces are registry-coverage's job.
+		}
+	}
+
+	walk(root.Underlying(), rootName, rootPos)
+}

@@ -1,0 +1,59 @@
+// Package registrycov exercises the registry-coverage check: missing
+// registrations for types reachable from remote-call signatures, and
+// conflicting name/type registrations.
+package registrycov
+
+import (
+	"context"
+
+	"nrmi/internal/lint/testdata/src/registrycov/rmi"
+	"nrmi/internal/lint/testdata/src/registrycov/wire"
+)
+
+// Payload is registered and reaches Item by value.
+type Payload struct {
+	Items []*Item
+}
+
+// Item is registered.
+type Item struct {
+	N int
+}
+
+// Missing crosses the wire at a Call site but is never registered.
+type Missing struct {
+	X int
+}
+
+// Absent crosses the wire through an exported service method signature.
+type Absent struct {
+	Y int
+}
+
+// Dup is registered twice under different names.
+type Dup struct{}
+
+// Clash shares its wire name with Payload.
+type Clash struct{}
+
+// Svc is the exported service.
+type Svc struct{}
+
+// Handle is an exported remote method; its signature requires Payload
+// and Absent.
+func (*Svc) Handle(p *Payload, extra *Absent) error { return nil }
+
+// internalHelper is unexported, so its signature is not remote-reachable.
+func (*Svc) internalHelper(ch chan int) {}
+
+// Client drives the registration and call sites.
+func Client(ctx context.Context, stub *rmi.Stub, srv *rmi.Server) {
+	wire.Register("cov.Payload", Payload{})
+	wire.Register("cov.Item", Item{})
+	wire.Register("cov.Dup", Dup{})
+	wire.Register("cov.DupAgain", Dup{})      // want `registered under both "cov.Dup" and "cov.DupAgain"`
+	wire.Register("cov.Payload", Clash{})     // want `wire name "cov.Payload" registered for both`
+	stub.Call(ctx, "Process", &Payload{})     // clean: Payload and Item registered
+	stub.Call(ctx, "Compute", &Missing{}, 42) // want `Missing is reachable as a remote call argument but never registered`
+	srv.Export("svc", &Svc{})                 // want `Absent is reachable as a parameter of exported method Handle but never registered`
+}

@@ -1,0 +1,19 @@
+// Package rmi is a structural stand-in for the stub/server surface the
+// registry-coverage check recognizes by type name.
+package rmi
+
+import "context"
+
+// Stub mirrors nrmi.Stub.
+type Stub struct{}
+
+// Call mirrors Stub.Call: wire arguments start at index 2.
+func (*Stub) Call(ctx context.Context, method string, args ...any) ([]any, error) {
+	return nil, nil
+}
+
+// Server mirrors nrmi.Server.
+type Server struct{}
+
+// Export mirrors Server.Export.
+func (*Server) Export(name string, obj any) error { return nil }

@@ -1,0 +1,19 @@
+// Package wire is a structural stand-in for nrmi/internal/wire: the
+// registry-coverage check matches registration functions by package and
+// type name, so the testdata stays independent of the real module tree.
+package wire
+
+// Registry mirrors the wire registry surface.
+type Registry struct{}
+
+// Register mirrors wire.Registry.Register.
+func (*Registry) Register(name string, sample any) error { return nil }
+
+// RegisterAuto mirrors wire.Registry.RegisterAuto.
+func (*Registry) RegisterAuto(sample any) (string, error) { return "", nil }
+
+// Register mirrors the package-level wire.Register.
+func Register(name string, sample any) error { return nil }
+
+// RegisterAuto mirrors the package-level wire.RegisterAuto.
+func RegisterAuto(sample any) (string, error) { return "", nil }

@@ -1,0 +1,77 @@
+// Package restorable exercises the restorable-closure check: every
+// line carrying a `// want "re"` comment must produce a matching
+// diagnostic, and no other line may.
+package restorable
+
+import "unsafe"
+
+// Bad holds every field kind the graph walker rejects.
+type Bad struct {
+	Name   string
+	Events chan int       // want `Bad.Events has kind chan`
+	Hook   func()         // want `Bad.Hook has kind func`
+	Raw    uintptr        // want `Bad.Raw has kind uintptr`
+	Ptr    unsafe.Pointer // want `Bad.Ptr has kind unsafe.Pointer`
+}
+
+// NRMIRestorable opts Bad into copy-restore.
+func (*Bad) NRMIRestorable() {}
+
+// Hidden keeps reference state in an unexported field.
+type Hidden struct {
+	Pub  int
+	next *Hidden // want `unexported field Hidden.next holds pointer-bearing state`
+}
+
+// NRMIRestorable opts Hidden into copy-restore.
+func (*Hidden) NRMIRestorable() {}
+
+// Deep is clean itself but reaches a rejected kind two hops away.
+type Deep struct {
+	Sub *Sub
+}
+
+// NRMIRestorable opts Deep into copy-restore.
+func (*Deep) NRMIRestorable() {}
+
+// Sub is not restorable on its own; it is reached from Deep.
+type Sub struct {
+	Inner Leaf
+}
+
+// Leaf carries the violation.
+type Leaf struct {
+	Done chan struct{} // want `Deep.Sub.Inner.Done has kind chan`
+}
+
+// Elem sits behind container types.
+type Elem struct {
+	Stop func() error // want `Contained.Elems\[i\].Stop has kind func`
+}
+
+// Contained reaches Elem through a slice.
+type Contained struct {
+	Elems []Elem
+}
+
+// NRMIRestorable opts Contained into copy-restore.
+func (*Contained) NRMIRestorable() {}
+
+// Good shows the full supported surface: pointers, slices, maps,
+// interfaces (opaque), scalar unexported fields, and cycles.
+type Good struct {
+	Value    int
+	tag      int // unexported but scalar: restorable state loss impossible
+	Next     *Good
+	Children []*Good
+	Index    map[string]*Good
+	Anything any
+}
+
+// NRMIRestorable opts Good into copy-restore.
+func (*Good) NRMIRestorable() {}
+
+// Plain is not restorable, so its chan field is fine.
+type Plain struct {
+	C chan int
+}

@@ -1,10 +1,19 @@
 package wire
 
 import (
+	"errors"
 	"fmt"
 	"reflect"
 	"sync"
+
+	"nrmi/internal/graph"
 )
+
+// ErrRegistryConflict is reported when a registration would rebind a
+// name to a different type or a type to a different name. The error
+// message carries both the prior and the new binding so misconfigured
+// endpoints are diagnosable from either side.
+var ErrRegistryConflict = errors.New("wire: registry conflict")
 
 // Registry maps wire names to Go types, playing the role of Java's
 // class-resolution machinery during deserialization. Every *named* Go type
@@ -56,14 +65,34 @@ func (r *Registry) RegisterType(name string, t reflect.Type) error {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if prev, ok := r.byName[name]; ok && prev != t {
-		return fmt.Errorf("wire: name %q already registered for %s, cannot rebind to %s", name, prev, t)
+		return fmt.Errorf("%w: name %q is bound to type %s, cannot rebind it to type %s",
+			ErrRegistryConflict, name, prev, t)
 	}
 	if prev, ok := r.byType[t]; ok && prev != name {
-		return fmt.Errorf("wire: type %s already registered as %q, cannot rebind to %q", t, prev, name)
+		return fmt.Errorf("%w: type %s is registered as %q, cannot also register it as %q",
+			ErrRegistryConflict, t, prev, name)
 	}
 	r.byName[name] = t
 	r.byType[t] = name
 	return nil
+}
+
+// RegisterStrict is Register with eager closure validation: before
+// recording the binding it walks sample's full type closure and rejects
+// types the copy-restore graph walker cannot traverse (chan, func,
+// unsafe.Pointer, uintptr fields anywhere in the closure), using the
+// same kind rules as graph.CheckType and the nrmi-vet
+// restorable-closure check. Programs that bypass the linter thereby
+// fail at registration time — with a field path in the error — rather
+// than mid-call on whichever endpoint decodes first.
+func (r *Registry) RegisterStrict(name string, sample any) error {
+	if sample == nil {
+		return fmt.Errorf("wire: RegisterStrict(%q) with nil sample", name)
+	}
+	if err := graph.CheckType(reflect.TypeOf(sample)); err != nil {
+		return fmt.Errorf("wire: RegisterStrict(%q): %w", name, err)
+	}
+	return r.Register(name, sample)
 }
 
 // RegisterAuto registers sample's type under its canonical
@@ -125,4 +154,11 @@ func Register(name string, sample any) error {
 // canonical name.
 func RegisterAuto(sample any) (string, error) {
 	return defaultRegistry.RegisterAuto(sample)
+}
+
+// RegisterStrict records sample's type in the default registry under
+// name after validating its closure against the graph walker's kind
+// rules.
+func RegisterStrict(name string, sample any) error {
+	return defaultRegistry.RegisterStrict(name, sample)
 }

@@ -1,0 +1,142 @@
+package wire
+
+import (
+	"errors"
+	"reflect"
+	"strings"
+	"testing"
+
+	"nrmi/internal/graph"
+)
+
+type regNode struct {
+	Value int
+	Next  *regNode
+}
+
+type regOther struct {
+	Value string
+}
+
+type regChanHolder struct {
+	Name   string
+	Events chan int
+}
+
+type regDeepBad struct {
+	Inner struct {
+		Hooks []func()
+	}
+}
+
+func TestRegisterNameConflictDetails(t *testing.T) {
+	r := NewRegistry()
+	if err := r.Register("app.Node", regNode{}); err != nil {
+		t.Fatal(err)
+	}
+	err := r.Register("app.Node", regOther{})
+	if err == nil {
+		t.Fatal("rebinding a name to a different type must fail")
+	}
+	if !errors.Is(err, ErrRegistryConflict) {
+		t.Fatalf("conflict must wrap ErrRegistryConflict: %v", err)
+	}
+	// Both the prior and the new type must be named, so either endpoint
+	// can be fixed from the message alone.
+	for _, want := range []string{"app.Node", "wire.regNode", "wire.regOther"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("conflict error %q must mention %s", err, want)
+		}
+	}
+}
+
+func TestRegisterTypeConflictDetails(t *testing.T) {
+	r := NewRegistry()
+	if err := r.Register("app.Node", regNode{}); err != nil {
+		t.Fatal(err)
+	}
+	// Re-registration of the same type under a different name.
+	err := r.Register("app.Renamed", regNode{})
+	if err == nil {
+		t.Fatal("re-registering a type under a different name must fail")
+	}
+	if !errors.Is(err, ErrRegistryConflict) {
+		t.Fatalf("conflict must wrap ErrRegistryConflict: %v", err)
+	}
+	for _, want := range []string{"app.Node", "app.Renamed", "wire.regNode"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("conflict error %q must mention %s", err, want)
+		}
+	}
+	// The original binding must be untouched by the failed attempt.
+	if typ, err := r.TypeByName("app.Node"); err != nil || typ != reflect.TypeOf(regNode{}) {
+		t.Fatalf("original binding damaged: %v, %v", typ, err)
+	}
+	if _, err := r.TypeByName("app.Renamed"); err == nil {
+		t.Fatal("failed registration must not bind the new name")
+	}
+	// Registering the identical pair again stays a no-op.
+	if err := r.Register("app.Node", regNode{}); err != nil {
+		t.Fatalf("idempotent re-registration broke: %v", err)
+	}
+}
+
+func TestRegisterStrictAcceptsCleanClosure(t *testing.T) {
+	r := NewRegistry()
+	if err := r.RegisterStrict("app.Node", &regNode{}); err != nil {
+		t.Fatal(err)
+	}
+	if name, err := r.NameOf(reflect.TypeOf(regNode{})); err != nil || name != "app.Node" {
+		t.Fatalf("strict registration must record the binding: %q, %v", name, err)
+	}
+}
+
+func TestRegisterStrictRejectsForbiddenKinds(t *testing.T) {
+	r := NewRegistry()
+	err := r.RegisterStrict("app.ChanHolder", regChanHolder{})
+	if err == nil {
+		t.Fatal("chan field must be rejected eagerly")
+	}
+	if !errors.Is(err, graph.ErrNotSerializable) {
+		t.Fatalf("strict rejection must wrap graph.ErrNotSerializable: %v", err)
+	}
+	if !strings.Contains(err.Error(), "Events") {
+		t.Errorf("error must name the offending field path: %v", err)
+	}
+	// The failed registration must leave no binding behind.
+	if _, err := r.TypeByName("app.ChanHolder"); err == nil {
+		t.Fatal("rejected type must not be registered")
+	}
+
+	// A violation nested behind value structs and slices is still found.
+	err = r.RegisterStrict("app.DeepBad", regDeepBad{})
+	if err == nil || !errors.Is(err, graph.ErrNotSerializable) {
+		t.Fatalf("nested func field must be rejected: %v", err)
+	}
+	if !strings.Contains(err.Error(), "Hooks") {
+		t.Errorf("error must name the nested path: %v", err)
+	}
+
+	if err := r.RegisterStrict("app.Nil", nil); err == nil {
+		t.Fatal("nil sample must be rejected")
+	}
+}
+
+func TestCheckTypeClosure(t *testing.T) {
+	// Cyclic clean types terminate and pass.
+	if err := graph.CheckType(reflect.TypeOf(&regNode{})); err != nil {
+		t.Fatalf("clean cyclic type rejected: %v", err)
+	}
+	// Map keys and values are both checked.
+	if err := graph.CheckType(reflect.TypeOf(map[string]chan int{})); err == nil {
+		t.Fatal("map value chan must be rejected")
+	}
+	if err := graph.CheckType(reflect.TypeOf(uintptr(0))); err == nil {
+		t.Fatal("uintptr must be rejected")
+	}
+	// Interfaces are opaque at type-check time.
+	type holder struct{ V any }
+	if err := graph.CheckType(reflect.TypeOf(holder{})); err != nil {
+		t.Fatalf("interface field must be opaque: %v", err)
+	}
+}

@@ -90,6 +90,11 @@ type Dialer = rmi.Dialer
 // Registry maps wire names to types; see Register.
 type Registry = wire.Registry
 
+// ErrRegistryConflict is reported when a registration would rebind a
+// name to a different type or a type to a different name; the message
+// carries both bindings.
+var ErrRegistryConflict = wire.ErrRegistryConflict
+
 // RegistryServer is the standalone naming service (rmiregistry analog).
 type RegistryServer = registry.Server
 
@@ -219,6 +224,14 @@ func NewRegistry() *Registry { return wire.NewRegistry() }
 // Register records sample's type under name in the process-wide default
 // registry. Both endpoints must register the same name/type pairs.
 func Register(name string, sample any) error { return wire.Register(name, sample) }
+
+// RegisterStrict is Register with eager validation: it walks sample's
+// full type closure and rejects types the copy-restore walker cannot
+// traverse (chan, func, unsafe.Pointer, uintptr anywhere in the
+// closure), so misdeclared types fail at registration instead of
+// mid-call. It enforces at runtime what `nrmi-vet`'s restorable-closure
+// check reports at build time; see docs/LINT.md.
+func RegisterStrict(name string, sample any) error { return wire.RegisterStrict(name, sample) }
 
 // NewRegistryServer returns a standalone naming service. Bind it to a
 // listener with Serve, or embed one into an rmi server with
