@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race lint chaos cover bench tables verify-tables loc examples fuzz clean
+.PHONY: all build test race lint chaos soak cover bench tables verify-tables loc examples fuzz clean
 
 all: build test
 
@@ -10,7 +10,7 @@ build:
 	$(GO) build ./...
 	$(GO) vet ./...
 
-test: lint
+test: lint soak
 	$(GO) vet ./...
 	$(GO) test -race ./...
 
@@ -29,6 +29,11 @@ chaos:
 	@seed=$${CHAOS_SEED:-$$(date +%s%N)}; \
 	echo "chaos seed: $$seed (replay: CHAOS_SEED=$$seed make chaos)"; \
 	CHAOS_SEED=$$seed $(GO) test -race -run 'TestChaos|TestRetry|TestBackoff' -v ./internal/rmi/
+
+# Graceful-degradation soak: concurrent clients hammer a draining,
+# overloaded server under the race detector (docs/PROTOCOL.md section 8).
+soak:
+	$(GO) test -race -count=1 -run 'TestSoak|TestShutdown|TestOverload|TestAdmission' -v ./internal/rmi/
 
 cover:
 	$(GO) test -coverprofile=cover.out ./... && $(GO) tool cover -func=cover.out | tail -1

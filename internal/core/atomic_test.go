@@ -1,0 +1,164 @@
+package core
+
+// Torn-restore prevention: whenever ApplyResponse returns an error, the
+// caller's restorable graph must be deep-equal to its pre-call snapshot.
+// The restore commit is two-phase (validate every pending update, then
+// overwrite), so not even a reply that decodes cleanly but fails
+// validation late in the update list may leave a half-restored graph.
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"nrmi/internal/graph"
+)
+
+// atomicWorld builds one aliased tree and returns the encoded request's
+// Call, the full valid response bytes for a structure-changing mutation,
+// and the live root.
+func atomicWorld(t *testing.T, opts Options) (*Call, []byte, *Tree) {
+	t.Helper()
+	root, _, _, _, _ := paperTree()
+	var req bytes.Buffer
+	call := NewCall(&req, opts)
+	if err := call.EncodeRestorable(root); err != nil {
+		t.Fatalf("encode restorable: %v", err)
+	}
+	if err := call.Finish(); err != nil {
+		t.Fatalf("finish: %v", err)
+	}
+	srv := AcceptCall(&req, opts)
+	sroot, err := srv.DecodeRestorable()
+	if err != nil {
+		t.Fatalf("server decode: %v", err)
+	}
+	if err := srv.Prepare(); err != nil {
+		t.Fatalf("prepare: %v", err)
+	}
+	paperFoo(sroot.(*Tree))
+	var respBuf bytes.Buffer
+	if _, err := srv.EncodeResponse(&respBuf, []any{42}); err != nil {
+		t.Fatalf("encode response: %v", err)
+	}
+	return call, respBuf.Bytes(), root
+}
+
+func snapshotGraph(t *testing.T, root *Tree) *Tree {
+	t.Helper()
+	cp, err := graph.Copy(graph.AccessExported, root)
+	if err != nil {
+		t.Fatalf("snapshot: %v", err)
+	}
+	return cp.(*Tree)
+}
+
+func graphsEqual(t *testing.T, a, b *Tree) bool {
+	t.Helper()
+	eq, err := graph.Equal(graph.AccessExported, a, b)
+	if err != nil {
+		t.Fatalf("graph.Equal: %v", err)
+	}
+	return eq
+}
+
+// TestApplyResponseAtomicUnderTruncation feeds ApplyResponse every proper
+// prefix of a valid response. Each one must fail, and each failure must
+// leave the argument graph bit-identical to its snapshot.
+func TestApplyResponseAtomicUnderTruncation(t *testing.T) {
+	opts := testOptions(t)
+	_, full, _ := atomicWorld(t, opts)
+	for cut := 0; cut < len(full); cut++ {
+		call, resp, root := atomicWorld(t, opts)
+		if !bytes.Equal(resp, full) {
+			t.Fatal("response encoding is not deterministic; sweep invalid")
+		}
+		snap := snapshotGraph(t, root)
+		_, err := call.ApplyResponse(bytes.NewReader(resp[:cut]))
+		if err == nil {
+			t.Fatalf("truncation at %d/%d bytes: ApplyResponse succeeded", cut, len(full))
+		}
+		if !graphsEqual(t, root, snap) {
+			t.Fatalf("truncation at %d/%d bytes: failed ApplyResponse mutated the graph (err was %v)",
+				cut, len(full), err)
+		}
+	}
+}
+
+// TestApplyResponseAtomicUnderBitFlips is the seeded corruption property:
+// flip one byte of the response at a time; whenever ApplyResponse reports
+// an error, the graph must equal its snapshot. (A flip that still decodes
+// cleanly is garbage-in-garbage-out — the protocol has no checksums — so
+// successful applies are only required not to crash.)
+func TestApplyResponseAtomicUnderBitFlips(t *testing.T) {
+	const seed = 20260805
+	const trials = 400
+	opts := testOptions(t)
+	rng := rand.New(rand.NewSource(seed))
+	for trial := 0; trial < trials; trial++ {
+		call, resp, root := atomicWorld(t, opts)
+		pos := rng.Intn(len(resp))
+		bit := byte(1) << rng.Intn(8)
+		corrupt := append([]byte(nil), resp...)
+		corrupt[pos] ^= bit
+		snap := snapshotGraph(t, root)
+		if _, err := call.ApplyResponse(bytes.NewReader(corrupt)); err != nil {
+			if !graphsEqual(t, root, snap) {
+				t.Fatalf("seed %d trial %d (byte %d bit %#02x): failed ApplyResponse mutated the graph (err was %v)",
+					seed, trial, pos, bit, err)
+			}
+		}
+	}
+}
+
+// TestValidateRestoreRejects pins the validation phase directly: every
+// malformed (orig, tmp) pair validateRestore must refuse, plus the
+// guarantee that validation does not touch orig.
+func TestValidateRestoreRejects(t *testing.T) {
+	cases := []struct {
+		name      string
+		orig, tmp reflect.Value
+	}{
+		{"type mismatch", reflect.ValueOf(&Tree{}), reflect.ValueOf(new(int))},
+		{"slice length changed", reflect.ValueOf([]int{1, 2, 3}), reflect.ValueOf([]int{1})},
+		{"non-reference kind", reflect.ValueOf(7), reflect.ValueOf(7)},
+	}
+	for _, tc := range cases {
+		if err := validateRestore(tc.orig, tc.tmp); err == nil {
+			t.Errorf("%s: validateRestore accepted", tc.name)
+		}
+	}
+	orig := &Tree{Data: 1}
+	if err := validateRestore(reflect.ValueOf(orig), reflect.ValueOf(&Tree{Data: 9})); err != nil {
+		t.Fatalf("valid pair rejected: %v", err)
+	}
+	if orig.Data != 1 {
+		t.Fatal("validateRestore mutated orig")
+	}
+}
+
+// TestTwoPhaseCommitOrdering simulates ApplyResponse's commit loop with a
+// poisoned final pair: validation must fail before the first overwrite, so
+// earlier (valid) pairs stay untouched.
+func TestTwoPhaseCommitOrdering(t *testing.T) {
+	a := &Tree{Data: 1}
+	b := []int{1, 2, 3}
+	updates := []struct{ orig, tmp reflect.Value }{
+		{reflect.ValueOf(a), reflect.ValueOf(&Tree{Data: 100})},
+		{reflect.ValueOf(b), reflect.ValueOf([]int{9})}, // invalid: length change
+	}
+	var err error
+	for _, u := range updates {
+		if err = validateRestore(u.orig, u.tmp); err != nil {
+			break
+		}
+	}
+	if err == nil {
+		t.Fatal("poisoned update list validated")
+	}
+	if a.Data != 1 || fmt.Sprint(b) != "[1 2 3]" {
+		t.Fatalf("validation phase mutated originals: %v %v", a, b)
+	}
+}

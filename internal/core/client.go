@@ -204,11 +204,16 @@ func (c *Call) ApplyResponse(r io.Reader) (*Response, error) {
 	// Step 5: overwrite each original, in place. Every temporary's
 	// references already point at originals (old) or at freshly
 	// materialized objects (new), so a shallow overwrite completes the
-	// restore.
+	// restore. The commit is two-phase — validate every (orig, tmp) pair
+	// before the first overwrite — so a malformed reply fails with the
+	// caller's graph untouched rather than half-restored.
 	for _, u := range updates {
-		if err := restoreInPlace(u.orig, u.tmp); err != nil {
+		if err := validateRestore(u.orig, u.tmp); err != nil {
 			return nil, err
 		}
+	}
+	for _, u := range updates {
+		commitRestore(u.orig, u.tmp)
 	}
 	return &Response{
 		Returns:       rets,
@@ -218,16 +223,34 @@ func (c *Call) ApplyResponse(r io.Reader) (*Response, error) {
 	}, nil
 }
 
-// restoreInPlace overwrites the contents of orig with the contents of tmp.
-// Both are references of the same kind and type.
-func restoreInPlace(orig, tmp reflect.Value) error {
+// validateRestore checks that tmp's contents can be committed into orig:
+// identical types, a restorable kind, and (for slices, whose backing
+// arrays are fixed-length Java arrays) an unchanged length. Everything
+// commitRestore relies on is proven here, so the commit phase cannot fail
+// midway through the update list.
+func validateRestore(orig, tmp reflect.Value) error {
 	if orig.Type() != tmp.Type() {
 		return fmt.Errorf("%w: restoring %s into %s", ErrBadResponse, tmp.Type(), orig.Type())
 	}
 	switch orig.Kind() {
+	case reflect.Ptr, reflect.Map:
+		return nil
+	case reflect.Slice:
+		if orig.Len() != tmp.Len() {
+			return fmt.Errorf("%w: slice length changed %d -> %d", ErrBadResponse, orig.Len(), tmp.Len())
+		}
+		return nil
+	default:
+		return fmt.Errorf("%w: cannot restore kind %s", ErrBadResponse, orig.Kind())
+	}
+}
+
+// commitRestore overwrites the contents of orig with the contents of tmp.
+// The pair must have passed validateRestore; commit is infallible.
+func commitRestore(orig, tmp reflect.Value) {
+	switch orig.Kind() {
 	case reflect.Ptr:
 		orig.Elem().Set(tmp.Elem())
-		return nil
 	case reflect.Map:
 		// Java objects are mutated in place; for a Go map that means
 		// clearing and refilling the original header all aliases share.
@@ -243,14 +266,7 @@ func restoreInPlace(orig, tmp reflect.Value) error {
 		for iter.Next() {
 			orig.SetMapIndex(iter.Key(), iter.Value())
 		}
-		return nil
 	case reflect.Slice:
-		if orig.Len() != tmp.Len() {
-			return fmt.Errorf("%w: slice length changed %d -> %d", ErrBadResponse, orig.Len(), tmp.Len())
-		}
 		reflect.Copy(orig, tmp)
-		return nil
-	default:
-		return fmt.Errorf("%w: cannot restore kind %s", ErrBadResponse, orig.Kind())
 	}
 }

@@ -76,10 +76,10 @@ func (s *Server) Close() error {
 // servers (an rmi.Server acting as its own registry) can embed the naming
 // service on their existing listener.
 func (s *Server) Handle(payload []byte) ([]byte, error) {
-	return s.handle(transport.MsgRegistry, payload)
+	return s.handle(context.Background(), transport.MsgRegistry, payload)
 }
 
-func (s *Server) handle(msgType byte, payload []byte) ([]byte, error) {
+func (s *Server) handle(_ context.Context, msgType byte, payload []byte) ([]byte, error) {
 	if msgType != transport.MsgRegistry {
 		return nil, fmt.Errorf("%w: unexpected message type %d", ErrBadRequest, msgType)
 	}

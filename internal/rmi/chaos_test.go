@@ -383,7 +383,7 @@ func TestRetryNeverResendsAfterResponseConsumed(t *testing.T) {
 		t.Fatal(err)
 	}
 	var sends atomic.Int32
-	srv := transport.Serve(ln, func(_ byte, _ []byte) ([]byte, error) {
+	srv := transport.Serve(ln, func(_ context.Context, _ byte, _ []byte) ([]byte, error) {
 		sends.Add(1)
 		return []byte{0xFF, 0x00, 0xAB}, nil // framing-valid, stream-garbage
 	})
@@ -435,6 +435,9 @@ func TestRetryableClassification(t *testing.T) {
 		{"conn closed", &transport.CallError{Phase: transport.PhaseSend, Err: transport.ErrClosed}, true},
 		{"dial refused", netsim.ErrConnRefused, true},
 		{"partitioned", netsim.ErrPartitioned, true},
+		{"server draining", &transport.StatusError{Code: transport.StatusUnavailable, Msg: "shutting down"}, true},
+		{"server overloaded", &transport.StatusError{Code: transport.StatusOverloaded, Msg: "full"}, true},
+		{"server-side deadline", &transport.StatusError{Code: transport.StatusCancelled, Msg: "expired"}, true},
 	}
 	for _, tc := range cases {
 		if got := Retryable(tc.err); got != tc.want {

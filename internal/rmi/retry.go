@@ -89,6 +89,11 @@ func (e *ResponseConsumedError) Unwrap() error { return e.Err }
 //   - remote application errors are not: the method ran and said no;
 //   - consumed-response failures are not: exactly-once restore;
 //   - caller cancellation is not: the caller gave up;
+//   - typed server rejections (ErrUnavailable while draining,
+//     ErrOverloaded from admission control) are: the server guarantees
+//     the method never ran;
+//   - a server-side deadline cancellation is, the same as a local
+//     per-attempt timeout (at-least-once territory either way);
 //   - everything else — dial errors, connection failures, per-attempt
 //     deadlines — is, because a failed attempt never touched the
 //     caller's graph (the §6.2 atomicity the chaos suite verifies).
@@ -99,6 +104,12 @@ func Retryable(err error) bool {
 	var consumed *ResponseConsumedError
 	if errors.As(err, &consumed) {
 		return false
+	}
+	var status *transport.StatusError
+	if errors.As(err, &status) {
+		// Before the RemoteError check: typed statuses are server
+		// *rejections*, not application outcomes.
+		return true
 	}
 	var remote *transport.RemoteError
 	if errors.As(err, &remote) {

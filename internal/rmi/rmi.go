@@ -31,6 +31,7 @@ import (
 
 	"nrmi/internal/core"
 	"nrmi/internal/netsim"
+	"nrmi/internal/transport"
 	"nrmi/internal/wire"
 )
 
@@ -99,6 +100,14 @@ var (
 	ErrNoLocalServer = errors.New("rmi: Remote argument requires a local server")
 	// ErrServerClosed is reported after Server.Close.
 	ErrServerClosed = errors.New("rmi: server closed")
+	// ErrUnavailable is reported (across the wire, as a typed status) for
+	// requests arriving while the server drains or after it stopped. The
+	// method never ran, so the rejection is safely retryable.
+	ErrUnavailable = transport.ErrUnavailable
+	// ErrOverloaded is reported (across the wire, as a typed status) for
+	// calls refused by admission control; see Options.MaxConcurrentCalls.
+	// The method never ran, so the rejection is safely retryable.
+	ErrOverloaded = transport.ErrOverloaded
 )
 
 // Options configures servers and clients.
@@ -128,8 +137,24 @@ type Options struct {
 	Retry RetryPolicy
 	// CallTimeout bounds each call attempt; an attempt that exceeds it
 	// fails with a deadline error (and is retried under Retry). Zero
-	// leaves deadlines entirely to the caller's context.
+	// leaves deadlines entirely to the caller's context. The remaining
+	// budget is propagated on the wire with each request, so the server
+	// stops work the client has already abandoned.
 	CallTimeout time.Duration
+	// MaxConcurrentCalls caps method invocations executing at once on a
+	// server. Calls beyond the cap are rejected with ErrOverloaded — or
+	// queued, if AdmissionQueue is set. Zero means unlimited.
+	MaxConcurrentCalls int
+	// AdmissionQueue bounds how many over-cap calls may wait for a free
+	// slot instead of being rejected outright. Zero disables queueing.
+	AdmissionQueue int
+	// AdmissionWait bounds how long a queued call waits for a slot before
+	// failing with ErrOverloaded. Zero waits until the caller's propagated
+	// deadline (or a free slot, whichever comes first).
+	AdmissionWait time.Duration
+	// MaxRequestBytes rejects call payloads larger than this before any
+	// decoding work. Zero means unlimited.
+	MaxRequestBytes int
 }
 
 // CallInfo identifies one invocation for interceptors.

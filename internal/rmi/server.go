@@ -34,6 +34,18 @@ type Server struct {
 	refIdent   map[graph.Ident]uint64
 	nextRef    uint64
 	closed     bool
+	// draining is set by Shutdown: new requests are refused with
+	// ErrUnavailable while in-flight handlers run to completion.
+	draining bool
+	// inflight tracks handler invocations admitted before draining began.
+	// Add happens under mu together with the draining check, so no Add can
+	// race a Shutdown's Wait.
+	inflight sync.WaitGroup
+
+	// callSem is the admission semaphore (nil when MaxConcurrentCalls is
+	// unset); queued counts calls waiting in the bounded admission queue.
+	callSem chan struct{}
+	queued  atomic.Int32
 
 	// sweeper state for the background lease collector.
 	sweepStop chan struct{}
@@ -64,14 +76,18 @@ func NewServer(addr string, opts Options) (*Server, error) {
 	if err := registerProtocolTypes(opts.registryOf()); err != nil {
 		return nil, err
 	}
-	return &Server{
+	s := &Server{
 		opts:       opts,
 		addr:       addr,
 		exports:    make(map[string]reflect.Value),
 		serialized: make(map[string]*sync.Mutex),
 		refs:       make(map[uint64]*refEntry),
 		refIdent:   make(map[graph.Ident]uint64),
-	}, nil
+	}
+	if opts.MaxConcurrentCalls > 0 {
+		s.callSem = make(chan struct{}, opts.MaxConcurrentCalls)
+	}
+	return s, nil
 }
 
 // Addr returns the address this server identifies itself under.
@@ -276,53 +292,197 @@ type Metrics struct {
 	BytesIn, BytesOut int64
 	// ObjectsRestored counts content records shipped in restore sections.
 	ObjectsRestored int64
+	// CallsRejected counts calls refused by admission control — the
+	// concurrency limit (ErrOverloaded) or MaxRequestBytes. Rejected calls
+	// are not included in CallsServed: the method never ran.
+	CallsRejected int64
+	// CallsUnavailable counts requests refused with ErrUnavailable because
+	// they arrived while the server was draining or closed.
+	CallsUnavailable int64
+	// CallsCancelled counts admitted calls whose propagated client deadline
+	// expired before or during execution (these also count in CallErrors
+	// when the method surfaced the cancellation).
+	CallsCancelled int64
+	// DrainDuration is the cumulative time Shutdown spent waiting for
+	// in-flight calls to complete.
+	DrainDuration time.Duration
 }
 
 // serverMetrics is the live counter set.
 type serverMetrics struct {
-	calls    atomic.Int64
-	errors   atomic.Int64
-	bytesIn  atomic.Int64
-	bytesOut atomic.Int64
-	restored atomic.Int64
+	calls       atomic.Int64
+	errors      atomic.Int64
+	bytesIn     atomic.Int64
+	bytesOut    atomic.Int64
+	restored    atomic.Int64
+	rejected    atomic.Int64
+	unavailable atomic.Int64
+	cancelled   atomic.Int64
+	drainNanos  atomic.Int64
 }
 
 // Metrics returns a snapshot of the server's counters.
 func (s *Server) Metrics() Metrics {
 	return Metrics{
-		CallsServed:     s.metrics.calls.Load(),
-		CallErrors:      s.metrics.errors.Load(),
-		BytesIn:         s.metrics.bytesIn.Load(),
-		BytesOut:        s.metrics.bytesOut.Load(),
-		ObjectsRestored: s.metrics.restored.Load(),
+		CallsServed:      s.metrics.calls.Load(),
+		CallErrors:       s.metrics.errors.Load(),
+		BytesIn:          s.metrics.bytesIn.Load(),
+		BytesOut:         s.metrics.bytesOut.Load(),
+		ObjectsRestored:  s.metrics.restored.Load(),
+		CallsRejected:    s.metrics.rejected.Load(),
+		CallsUnavailable: s.metrics.unavailable.Load(),
+		CallsCancelled:   s.metrics.cancelled.Load(),
+		DrainDuration:    time.Duration(s.metrics.drainNanos.Load()),
 	}
 }
 
-// Serve starts answering requests on ln. Call Close to stop.
+// Serve starts answering requests on ln. Call Close to stop, or Shutdown
+// to drain first. Serving after Close is a no-op that closes ln.
 func (s *Server) Serve(ln net.Listener) {
-	s.tsrv = transport.Serve(ln, s.handle)
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		ln.Close()
+		return
+	}
+	tsrv := transport.Serve(ln, s.handle)
+	s.tsrv = tsrv
+	s.mu.Unlock()
 	if s.opts.Compress {
-		s.tsrv.EnableCompression()
+		tsrv.EnableCompression()
 	}
 }
 
-// Close stops serving and the lease sweeper.
+// Close stops serving and the lease sweeper immediately, without draining.
+// It is safe before Serve, after Serve, called twice, and concurrently
+// with in-flight handle invocations (which run to completion — the
+// transport layer waits for its handler goroutines).
 func (s *Server) Close() error {
 	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
 	s.closed = true
+	s.draining = true
 	if s.sweepStop != nil {
 		close(s.sweepStop)
 		s.sweepStop = nil
 	}
+	tsrv := s.tsrv
 	s.mu.Unlock()
-	if s.tsrv == nil {
+	if tsrv == nil {
 		return nil
 	}
-	return s.tsrv.Close()
+	return tsrv.Close()
 }
 
-// handle dispatches one transport frame.
-func (s *Server) handle(msgType byte, payload []byte) (out []byte, err error) {
+// Shutdown degrades gracefully: it stops accepting new connections,
+// refuses requests that arrive after this point with ErrUnavailable (a
+// typed, safely-retryable rejection — the method never ran), waits for
+// every in-flight handler to complete, then closes. If ctx expires before
+// the drain finishes, Shutdown returns ctx.Err() and completes the
+// teardown in the background: connections are closed (cutting off the
+// stragglers' callers) and handler contexts cancelled, but goroutines
+// stuck in methods that ignore cancellation finish on their own time.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.draining = true
+	tsrv := s.tsrv
+	s.mu.Unlock()
+	if tsrv != nil {
+		tsrv.StopAccepting()
+	}
+	start := time.Now()
+	done := make(chan struct{})
+	go func() {
+		// First the handler bodies, then the transport's reply writes:
+		// a drained call's response must be on the wire before Close
+		// tears the connection down under it.
+		s.inflight.Wait()
+		if tsrv != nil {
+			if err := tsrv.Drain(ctx); err != nil {
+				return // ctx expired; the select below observes it
+			}
+		}
+		close(done)
+	}()
+	select {
+	case <-done:
+		s.metrics.drainNanos.Add(time.Since(start).Nanoseconds())
+		return s.Close()
+	case <-ctx.Done():
+		s.metrics.drainNanos.Add(time.Since(start).Nanoseconds())
+		// Close waits for in-flight handlers (the transport guarantees
+		// replies are flushed before teardown completes); after a failed
+		// drain that wait must not block the caller.
+		go s.Close()
+		return ctx.Err()
+	}
+}
+
+// admit gates one request against the drain state. On success the caller
+// must invoke the returned release when the handler finishes.
+func (s *Server) admit() (release func(), err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed || s.draining {
+		s.metrics.unavailable.Add(1)
+		return nil, fmt.Errorf("%w: %s is shutting down", transport.ErrUnavailable, s.addr)
+	}
+	s.inflight.Add(1)
+	return s.inflight.Done, nil
+}
+
+// acquireSlot enforces MaxConcurrentCalls: take a semaphore slot if one is
+// free, otherwise wait in the bounded admission queue (AdmissionQueue
+// deep, AdmissionWait long) or fail with ErrOverloaded.
+func (s *Server) acquireSlot(ctx context.Context) (release func(), err error) {
+	if s.callSem == nil {
+		return func() {}, nil
+	}
+	select {
+	case s.callSem <- struct{}{}:
+		return s.releaseSlot, nil
+	default:
+	}
+	if s.opts.AdmissionQueue <= 0 {
+		return nil, fmt.Errorf("%w: %d calls in flight", transport.ErrOverloaded, cap(s.callSem))
+	}
+	if int(s.queued.Add(1)) > s.opts.AdmissionQueue {
+		s.queued.Add(-1)
+		return nil, fmt.Errorf("%w: admission queue full", transport.ErrOverloaded)
+	}
+	defer s.queued.Add(-1)
+	wctx := ctx
+	if s.opts.AdmissionWait > 0 {
+		var cancel context.CancelFunc
+		wctx, cancel = context.WithTimeout(ctx, s.opts.AdmissionWait)
+		defer cancel()
+	}
+	select {
+	case s.callSem <- struct{}{}:
+		return s.releaseSlot, nil
+	case <-wctx.Done():
+		return nil, fmt.Errorf("%w: no free slot within wait budget (%v)", transport.ErrOverloaded, wctx.Err())
+	}
+}
+
+func (s *Server) releaseSlot() { <-s.callSem }
+
+// handle dispatches one transport frame. ctx carries the client's
+// propagated per-call deadline (when the request frame had one) and is
+// cancelled when the server closes.
+func (s *Server) handle(ctx context.Context, msgType byte, payload []byte) (out []byte, err error) {
+	done, err := s.admit()
+	if err != nil {
+		return nil, err
+	}
+	defer done()
 	start := time.Now()
 	defer func() {
 		// Model this host's CPU speed: a slower machine takes
@@ -331,10 +491,29 @@ func (s *Server) handle(msgType byte, payload []byte) (out []byte, err error) {
 	}()
 	switch msgType {
 	case transport.MsgCall:
+		if max := s.opts.MaxRequestBytes; max > 0 && len(payload) > max {
+			s.metrics.rejected.Add(1)
+			return nil, fmt.Errorf("rmi: %d-byte request exceeds MaxRequestBytes %d", len(payload), max)
+		}
+		slot, err := s.acquireSlot(ctx)
+		if err != nil {
+			s.metrics.rejected.Add(1)
+			return nil, err
+		}
+		defer slot()
+		if err := ctx.Err(); err != nil {
+			// The caller's deadline expired while we queued for a slot;
+			// don't run work nobody is waiting for.
+			s.metrics.cancelled.Add(1)
+			return nil, fmt.Errorf("rmi: call abandoned before dispatch: %w", err)
+		}
 		s.metrics.calls.Add(1)
 		s.metrics.bytesIn.Add(int64(len(payload)))
-		reply, err := s.handleCall(payload)
+		reply, err := s.handleCall(ctx, payload)
 		if err != nil {
+			if ctx.Err() != nil {
+				s.metrics.cancelled.Add(1)
+			}
 			s.metrics.errors.Add(1)
 		}
 		s.metrics.bytesOut.Add(int64(len(reply)))
@@ -403,8 +582,12 @@ func (s *Server) methodByName(t reflect.Type, name string) (reflect.Method, erro
 var errType = reflect.TypeOf((*error)(nil)).Elem()
 
 // handleCall implements the invocation protocol: decode target and
-// arguments, fix the restore set, invoke, encode restore response.
-func (s *Server) handleCall(payload []byte) (out []byte, err error) {
+// arguments, fix the restore set, invoke, encode restore response. ctx is
+// the per-call context (client deadline, server lifetime); interceptors
+// receive it, and methods declaring context.Context as their first
+// parameter get it injected, so long-running handlers can stop when the
+// client has already given up.
+func (s *Server) handleCall(ctx context.Context, payload []byte) (out []byte, err error) {
 	sc := core.AcceptCall(bytes.NewReader(payload), s.opts.Core)
 	objKey, err := sc.DecodeString()
 	if err != nil {
@@ -430,9 +613,16 @@ func (s *Server) handleCall(payload []byte) (out []byte, err error) {
 	if mt.IsVariadic() {
 		return nil, fmt.Errorf("%w: %s is variadic; variadic remote methods are not supported", ErrBadArgument, methodName)
 	}
-	if int(nargs) != mt.NumIn()-1 {
+	// A context.Context first parameter is server-injected, not a wire
+	// argument — the mirror of the client stub convention.
+	takesCtx := mt.NumIn() > 1 && mt.In(1) == ctxType
+	ctxOffset := 0
+	if takesCtx {
+		ctxOffset = 1
+	}
+	if int(nargs) != mt.NumIn()-1-ctxOffset {
 		return nil, fmt.Errorf("%w: %s takes %d arguments, got %d",
-			ErrBadArgument, methodName, mt.NumIn()-1, nargs)
+			ErrBadArgument, methodName, mt.NumIn()-1-ctxOffset, nargs)
 	}
 	in := make([]reflect.Value, 0, nargs+1)
 	in = append(in, target)
@@ -458,7 +648,7 @@ func (s *Server) handleCall(payload []byte) (out []byte, err error) {
 		if err != nil {
 			return nil, fmt.Errorf("rmi: decoding argument %d: %w", i, err)
 		}
-		av, err := convertArg(raw, mt.In(i+1))
+		av, err := convertArg(raw, mt.In(i+1+ctxOffset))
 		if err != nil {
 			return nil, fmt.Errorf("rmi: argument %d of %s: %w", i, methodName, err)
 		}
@@ -475,20 +665,26 @@ func (s *Server) handleCall(payload []byte) (out []byte, err error) {
 		defer lock.Unlock()
 	}
 	var outs []reflect.Value
-	doInvoke := func(context.Context) error {
+	doInvoke := func(ctx context.Context) error {
+		callIn := in
+		if takesCtx {
+			callIn = make([]reflect.Value, 0, len(in)+1)
+			callIn = append(callIn, in[0], reflect.ValueOf(ctx))
+			callIn = append(callIn, in[1:]...)
+		}
 		var err error
-		outs, err = s.invoke(method, in)
+		outs, err = s.invoke(method, callIn)
 		return err
 	}
 	if ic := s.opts.Intercept; ic != nil {
 		info := CallInfo{Object: objKey, Method: methodName, ArgCount: int(nargs)}
-		if err := ic(context.Background(), info, doInvoke); err != nil {
+		if err := ic(ctx, info, doInvoke); err != nil {
 			return nil, err
 		}
 		if outs == nil && method.Type.NumOut() > numErrOuts(method.Type) {
 			return nil, fmt.Errorf("rmi: interceptor for %s skipped the call without error", methodName)
 		}
-	} else if err := doInvoke(context.Background()); err != nil {
+	} else if err := doInvoke(ctx); err != nil {
 		return nil, err
 	}
 	rets, err := s.outboundResults(outs)

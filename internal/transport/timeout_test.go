@@ -23,7 +23,7 @@ func TestCallErrorClassification(t *testing.T) {
 		{
 			name: "closed conn refuses before send",
 			run: func(t *testing.T) error {
-				c := startPair(t, func(byte, []byte) ([]byte, error) { return nil, nil })
+				c := startPair(t, func(context.Context, byte, []byte) ([]byte, error) { return nil, nil })
 				if err := c.Close(); err != nil {
 					t.Fatal(err)
 				}
@@ -37,7 +37,7 @@ func TestCallErrorClassification(t *testing.T) {
 		{
 			name: "pre-expired context never sends",
 			run: func(t *testing.T) error {
-				c := startPair(t, func(byte, []byte) ([]byte, error) { return nil, nil })
+				c := startPair(t, func(context.Context, byte, []byte) ([]byte, error) { return nil, nil })
 				ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
 				defer cancel()
 				_, err := c.Call(ctx, MsgCall, []byte("x"))
@@ -52,7 +52,7 @@ func TestCallErrorClassification(t *testing.T) {
 			name: "reply withheld until deadline",
 			run: func(t *testing.T) error {
 				block := make(chan struct{})
-				c := startPair(t, func(byte, []byte) ([]byte, error) {
+				c := startPair(t, func(context.Context, byte, []byte) ([]byte, error) {
 					<-block
 					return nil, nil
 				})
@@ -73,7 +73,7 @@ func TestCallErrorClassification(t *testing.T) {
 			name: "peer dies while awaiting reply",
 			run: func(t *testing.T) error {
 				started := make(chan *Conn, 1)
-				c := startPair(t, func(byte, []byte) ([]byte, error) {
+				c := startPair(t, func(context.Context, byte, []byte) ([]byte, error) {
 					cc := <-started
 					_ = cc.c.Close() // tear the wire under the in-flight call
 					return nil, errors.New("unreachable reply")
@@ -126,7 +126,7 @@ func TestDeadlineExpiresMidWrite(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	srv := Serve(ln, func(_ byte, payload []byte) ([]byte, error) { return payload, nil })
+	srv := Serve(ln, func(_ context.Context, _ byte, payload []byte) ([]byte, error) { return payload, nil })
 	defer srv.Close()
 	nc, err := n.Dial("srv")
 	if err != nil {
@@ -159,7 +159,7 @@ func TestDeadlineExpiresMidWrite(t *testing.T) {
 
 // TestConnErrHealth checks the Err health accessor across the lifecycle.
 func TestConnErrHealth(t *testing.T) {
-	c := startPair(t, func(_ byte, payload []byte) ([]byte, error) { return payload, nil })
+	c := startPair(t, func(_ context.Context, _ byte, payload []byte) ([]byte, error) { return payload, nil })
 	if err := c.Err(); err != nil {
 		t.Fatalf("fresh conn unhealthy: %v", err)
 	}

@@ -5,12 +5,14 @@
 //
 // Frame layout (big-endian):
 //
-//	magic   u16  0x4E52 ("NR")
-//	type    u8   message type, caller-defined
-//	flags   u8   0x01 = this frame is an error reply
-//	reqID   u64  request correlation id
-//	length  u32  payload byte count
-//	payload []byte
+//	magic    u16  0x4E52 ("NR")
+//	type     u8   message type, caller-defined
+//	flags    u8   0x01 = error reply, 0x02 = DEFLATE payload,
+//	              0x04 = deadline extension present, 0x08 = status byte
+//	reqID    u64  request correlation id
+//	length   u32  payload byte count
+//	[deadline u64] remaining call budget in microseconds (flag 0x04 only)
+//	payload  []byte
 //
 // Each frame is written with a single Write call, which is the contract the
 // netsim package relies on for per-message latency accounting.
@@ -27,6 +29,7 @@ import (
 	"net"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // Message types used across the NRMI stack. The transport treats them as
@@ -53,6 +56,8 @@ const (
 	headerSize   = 2 + 1 + 1 + 8 + 4
 	flagError    = 0x01
 	flagDeflate  = 0x02
+	flagDeadline = 0x04
+	flagStatus   = 0x08
 	maxFrameSize = 64 << 20
 
 	// compressThreshold is the payload size above which frames are
@@ -69,7 +74,85 @@ var (
 	ErrBadFrame = errors.New("transport: malformed frame")
 	// ErrFrameTooLarge guards the frame size limit.
 	ErrFrameTooLarge = errors.New("transport: frame exceeds size limit")
+	// ErrUnavailable is the typed refusal of a server that is draining or
+	// stopped. The call was never dispatched, so it is always safe to
+	// retry against another (or a restarted) endpoint.
+	ErrUnavailable = errors.New("transport: server unavailable (draining or stopped)")
+	// ErrOverloaded is the typed refusal of admission control: the server
+	// shed the call before dispatch rather than queue it unboundedly. Like
+	// ErrUnavailable, the call provably never executed.
+	ErrOverloaded = errors.New("transport: server overloaded")
 )
+
+// Status codes carried by status-flagged error replies, so well-known
+// refusals cross the wire as types rather than strings.
+const (
+	// StatusApp is a plain application error (never put on the wire; such
+	// replies omit the status flag entirely).
+	StatusApp byte = 0
+	// StatusUnavailable: the server is draining or stopped.
+	StatusUnavailable byte = 1
+	// StatusOverloaded: admission control rejected the call.
+	StatusOverloaded byte = 2
+	// StatusCancelled: the propagated client deadline expired and the
+	// server abandoned the call.
+	StatusCancelled byte = 3
+)
+
+// statusOf classifies a handler error for the wire.
+func statusOf(err error) byte {
+	switch {
+	case errors.Is(err, ErrUnavailable):
+		return StatusUnavailable
+	case errors.Is(err, ErrOverloaded):
+		return StatusOverloaded
+	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+		return StatusCancelled
+	}
+	return StatusApp
+}
+
+// statusName returns the human label of a status code.
+func statusName(code byte) string {
+	switch code {
+	case StatusUnavailable:
+		return "unavailable"
+	case StatusOverloaded:
+		return "overloaded"
+	case StatusCancelled:
+		return "cancelled"
+	}
+	return fmt.Sprintf("status-%d", code)
+}
+
+// StatusError is a peer refusal carrying a protocol status code. Unwrap
+// maps the code back onto the matching sentinel (ErrUnavailable,
+// ErrOverloaded, context.DeadlineExceeded), so retry layers classify with
+// errors.Is instead of string matching.
+type StatusError struct {
+	// Code is one of the Status* constants.
+	Code byte
+	// Msg is the peer-reported error text.
+	Msg string
+}
+
+// Error implements the error interface.
+func (e *StatusError) Error() string {
+	return fmt.Sprintf("remote [%s]: %s", statusName(e.Code), e.Msg)
+}
+
+// Unwrap exposes the sentinel behind the code to errors.Is.
+func (e *StatusError) Unwrap() error {
+	switch e.Code {
+	case StatusUnavailable:
+		return ErrUnavailable
+	case StatusOverloaded:
+		return ErrOverloaded
+	case StatusCancelled:
+		return context.DeadlineExceeded
+	}
+	return nil
+}
 
 // RemoteError carries an error string returned by the peer, preserving the
 // paper's position that remote exceptions must stay visible to programmers
@@ -126,7 +209,11 @@ type frame struct {
 	msgType byte
 	flags   byte
 	reqID   uint64
-	payload []byte
+	// deadline is the caller's remaining call budget; zero means none.
+	// On the wire it travels as a relative duration, not an absolute
+	// time, so unsynchronized clocks cannot corrupt it.
+	deadline time.Duration
+	payload  []byte
 }
 
 // writeFrame assembles and writes a frame with a single Write. With
@@ -154,13 +241,21 @@ func writeFrame(w io.Writer, f frame, compress bool) error {
 	if len(f.payload) > maxFrameSize {
 		return fmt.Errorf("%w: %d bytes", ErrFrameTooLarge, len(f.payload))
 	}
-	buf := make([]byte, headerSize+len(f.payload))
+	ext := 0
+	if f.deadline > 0 {
+		f.flags |= flagDeadline
+		ext = 8
+	}
+	buf := make([]byte, headerSize+ext+len(f.payload))
 	binary.BigEndian.PutUint16(buf[0:2], frameMagic)
 	buf[2] = f.msgType
 	buf[3] = f.flags
 	binary.BigEndian.PutUint64(buf[4:12], f.reqID)
 	binary.BigEndian.PutUint32(buf[12:16], uint32(len(f.payload)))
-	copy(buf[headerSize:], f.payload)
+	if ext > 0 {
+		binary.BigEndian.PutUint64(buf[headerSize:headerSize+8], uint64(f.deadline/time.Microsecond))
+	}
+	copy(buf[headerSize+ext:], f.payload)
 	_, err := w.Write(buf)
 	return err
 }
@@ -178,11 +273,19 @@ func readFrame(r io.Reader) (frame, error) {
 	if length > maxFrameSize {
 		return frame{}, fmt.Errorf("%w: %d bytes", ErrFrameTooLarge, length)
 	}
+	var deadline time.Duration
+	if hdr[3]&flagDeadline != 0 {
+		var ext [8]byte
+		if _, err := io.ReadFull(r, ext[:]); err != nil {
+			return frame{}, err
+		}
+		deadline = time.Duration(binary.BigEndian.Uint64(ext[:])) * time.Microsecond
+	}
 	payload := make([]byte, length)
 	if _, err := io.ReadFull(r, payload); err != nil {
 		return frame{}, err
 	}
-	flags := hdr[3]
+	flags := hdr[3] &^ flagDeadline
 	if flags&flagDeflate != 0 {
 		fr := flate.NewReader(bytes.NewReader(payload))
 		inflated, err := io.ReadAll(io.LimitReader(fr, maxFrameSize+1))
@@ -199,10 +302,11 @@ func readFrame(r io.Reader) (frame, error) {
 		flags &^= flagDeflate
 	}
 	return frame{
-		msgType: hdr[2],
-		flags:   flags,
-		reqID:   binary.BigEndian.Uint64(hdr[4:12]),
-		payload: payload,
+		msgType:  hdr[2],
+		flags:    flags,
+		reqID:    binary.BigEndian.Uint64(hdr[4:12]),
+		deadline: deadline,
+		payload:  payload,
 	}, nil
 }
 
@@ -291,12 +395,21 @@ func (c *Conn) Err() error {
 }
 
 // Call sends one request frame and blocks for its reply (or ctx
-// expiration). An error-flagged reply surfaces as *RemoteError; every
+// expiration). A ctx deadline additionally travels with the frame as the
+// call's remaining budget, so the server can abandon work this caller has
+// already given up on. An error-flagged reply surfaces as *RemoteError
+// (or *StatusError when the peer sent a status code); every
 // transport-level failure surfaces as *CallError, whose Sent field tells
 // retry layers whether the server could have seen the request.
 func (c *Conn) Call(ctx context.Context, msgType byte, payload []byte) ([]byte, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, &CallError{Phase: PhaseSend, Err: err}
+	}
+	var budget time.Duration
+	if dl, ok := ctx.Deadline(); ok {
+		if budget = time.Until(dl); budget <= 0 {
+			return nil, &CallError{Phase: PhaseSend, Err: context.DeadlineExceeded}
+		}
 	}
 	c.mu.Lock()
 	if c.closed {
@@ -313,7 +426,7 @@ func (c *Conn) Call(ctx context.Context, msgType byte, payload []byte) ([]byte, 
 	c.mu.Unlock()
 
 	c.writeMu.Lock()
-	err := writeFrame(c.c, frame{msgType: msgType, reqID: id, payload: payload}, c.compress.Load())
+	err := writeFrame(c.c, frame{msgType: msgType, reqID: id, deadline: budget, payload: payload}, c.compress.Load())
 	c.writeMu.Unlock()
 	if err != nil {
 		c.mu.Lock()
@@ -345,6 +458,9 @@ func (c *Conn) Call(ctx context.Context, msgType byte, payload []byte) ([]byte, 
 			return nil, &CallError{Phase: PhaseAwait, Sent: true, Err: err}
 		}
 		if f.flags&flagError != 0 {
+			if f.flags&flagStatus != 0 && len(f.payload) >= 1 {
+				return nil, &StatusError{Code: f.payload[0], Msg: string(f.payload[1:])}
+			}
 			return nil, &RemoteError{Msg: string(f.payload)}
 		}
 		return f.payload, nil
@@ -364,8 +480,12 @@ func (c *Conn) Close() error {
 }
 
 // Handler processes one inbound request and produces a reply payload.
-// Returning an error sends an error-flagged reply carrying err.Error().
-type Handler func(msgType byte, payload []byte) ([]byte, error)
+// Returning an error sends an error-flagged reply carrying err.Error()
+// (plus a status code for the typed refusals, see statusOf). The context
+// carries the caller's propagated deadline when the request frame shipped
+// one, and is cancelled when the server closes; handlers doing real work
+// should observe it.
+type Handler func(ctx context.Context, msgType byte, payload []byte) ([]byte, error)
 
 // Server accepts transport connections and dispatches frames to a Handler.
 // Each request runs in its own goroutine, like RMI's per-call threading.
@@ -374,16 +494,28 @@ type Server struct {
 	handler  Handler
 	compress atomic.Bool
 
-	mu     sync.Mutex
-	conns  map[net.Conn]struct{}
-	closed bool
-	wg     sync.WaitGroup
+	// baseCtx parents every request context; cancelled by Close so
+	// in-flight handlers learn the server is going away.
+	baseCtx    context.Context
+	baseCancel context.CancelFunc
+
+	mu       sync.Mutex
+	conns    map[net.Conn]struct{}
+	closed   bool
+	lnClosed bool
+	wg       sync.WaitGroup
+
+	// reqs counts live request goroutines, reply write included; Drain
+	// polls it so graceful shutdown can wait for replies to flush before
+	// connections are torn down.
+	reqs atomic.Int64
 }
 
 // Serve starts accepting connections on ln. It returns immediately; use
 // Close to stop.
 func Serve(ln net.Listener, h Handler) *Server {
-	s := &Server{ln: ln, handler: h, conns: make(map[net.Conn]struct{})}
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Server{ln: ln, handler: h, conns: make(map[net.Conn]struct{}), baseCtx: ctx, baseCancel: cancel}
 	s.wg.Add(1)
 	go s.acceptLoop()
 	return s
@@ -430,13 +562,26 @@ func (s *Server) serveConn(c net.Conn) {
 			return
 		}
 		reqWG.Add(1)
+		s.reqs.Add(1)
 		go func(f frame) {
+			defer s.reqs.Add(-1)
 			defer reqWG.Done()
-			reply, err := s.safeHandle(f.msgType, f.payload)
+			ctx := s.baseCtx
+			if f.deadline > 0 {
+				var cancel context.CancelFunc
+				ctx, cancel = context.WithTimeout(ctx, f.deadline)
+				defer cancel()
+			}
+			reply, err := s.safeHandle(ctx, f.msgType, f.payload)
 			out := frame{msgType: MsgReply, reqID: f.reqID}
 			if err != nil {
 				out.flags = flagError
-				out.payload = []byte(err.Error())
+				if code := statusOf(err); code != StatusApp {
+					out.flags |= flagStatus
+					out.payload = append([]byte{code}, err.Error()...)
+				} else {
+					out.payload = []byte(err.Error())
+				}
 			} else {
 				out.payload = reply
 			}
@@ -449,18 +594,55 @@ func (s *Server) serveConn(c net.Conn) {
 
 // safeHandle runs the handler, converting panics into error replies: one
 // hostile or buggy request must never take the whole server process down.
-func (s *Server) safeHandle(msgType byte, payload []byte) (reply []byte, err error) {
+func (s *Server) safeHandle(ctx context.Context, msgType byte, payload []byte) (reply []byte, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			reply = nil
 			err = fmt.Errorf("transport: handler panicked: %v", r)
 		}
 	}()
-	return s.handler(msgType, payload)
+	return s.handler(ctx, msgType, payload)
 }
 
-// Close stops accepting, closes all connections, and waits for in-flight
-// handlers to finish.
+// StopAccepting closes the listener so no new connections are admitted,
+// while established connections keep being served — the first phase of a
+// graceful drain: late requests on live connections can still be answered
+// (typically with ErrUnavailable) instead of seeing a torn stream. Close
+// completes the teardown.
+func (s *Server) StopAccepting() error {
+	s.mu.Lock()
+	if s.lnClosed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.lnClosed = true
+	s.mu.Unlock()
+	return s.ln.Close()
+}
+
+// Drain blocks until no request goroutine is running — every admitted
+// request has had its reply written to the connection — or ctx expires.
+// The graceful-shutdown companion to Close: stop admitting work first
+// (StopAccepting plus a handler-level gate), Drain, then Close, and no
+// in-flight reply is ever cut off by the connection teardown. New
+// requests arriving during Drain (typically answered with ErrUnavailable)
+// briefly re-raise the count; the poll converges once the caller's gate
+// refuses them faster than they arrive.
+func (s *Server) Drain(ctx context.Context) error {
+	for {
+		if s.reqs.Load() == 0 {
+			return nil
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(time.Millisecond):
+		}
+	}
+}
+
+// Close stops accepting, cancels the context of in-flight handlers, closes
+// all connections, and waits for in-flight handlers to finish.
 func (s *Server) Close() error {
 	s.mu.Lock()
 	if s.closed {
@@ -473,7 +655,8 @@ func (s *Server) Close() error {
 		conns = append(conns, c)
 	}
 	s.mu.Unlock()
-	err := s.ln.Close()
+	s.baseCancel()
+	err := s.StopAccepting()
 	for _, c := range conns {
 		_ = c.Close()
 	}

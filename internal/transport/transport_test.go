@@ -36,7 +36,7 @@ func startPair(t *testing.T, h Handler) *Conn {
 }
 
 func TestCallReply(t *testing.T) {
-	c := startPair(t, func(msgType byte, payload []byte) ([]byte, error) {
+	c := startPair(t, func(_ context.Context, msgType byte, payload []byte) ([]byte, error) {
 		if msgType != MsgCall {
 			return nil, fmt.Errorf("unexpected type %d", msgType)
 		}
@@ -52,7 +52,7 @@ func TestCallReply(t *testing.T) {
 }
 
 func TestRemoteErrorPropagation(t *testing.T) {
-	c := startPair(t, func(msgType byte, payload []byte) ([]byte, error) {
+	c := startPair(t, func(_ context.Context, msgType byte, payload []byte) ([]byte, error) {
 		return nil, errors.New("kaboom")
 	})
 	_, err := c.Call(context.Background(), MsgCall, nil)
@@ -66,7 +66,7 @@ func TestRemoteErrorPropagation(t *testing.T) {
 }
 
 func TestConcurrentCallsMultiplexed(t *testing.T) {
-	c := startPair(t, func(msgType byte, payload []byte) ([]byte, error) {
+	c := startPair(t, func(_ context.Context, msgType byte, payload []byte) ([]byte, error) {
 		// Reverse replies arrive out of order relative to request order.
 		if len(payload) > 0 && payload[0] == 'a' {
 			time.Sleep(20 * time.Millisecond)
@@ -99,7 +99,7 @@ func TestConcurrentCallsMultiplexed(t *testing.T) {
 
 func TestContextCancellation(t *testing.T) {
 	block := make(chan struct{})
-	c := startPair(t, func(msgType byte, payload []byte) ([]byte, error) {
+	c := startPair(t, func(_ context.Context, msgType byte, payload []byte) ([]byte, error) {
 		<-block
 		return nil, nil
 	})
@@ -113,7 +113,7 @@ func TestContextCancellation(t *testing.T) {
 }
 
 func TestCallAfterClose(t *testing.T) {
-	c := startPair(t, func(msgType byte, payload []byte) ([]byte, error) {
+	c := startPair(t, func(_ context.Context, msgType byte, payload []byte) ([]byte, error) {
 		return payload, nil
 	})
 	if err := c.Close(); err != nil {
@@ -133,7 +133,7 @@ func TestServerCloseFailsInFlight(t *testing.T) {
 		t.Fatal(err)
 	}
 	block := make(chan struct{})
-	srv := Serve(ln, func(msgType byte, payload []byte) ([]byte, error) {
+	srv := Serve(ln, func(_ context.Context, msgType byte, payload []byte) ([]byte, error) {
 		close(block)
 		time.Sleep(10 * time.Millisecond)
 		return payload, nil
@@ -208,7 +208,7 @@ func TestWorksOverRealTCP(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	srv := Serve(ln, func(msgType byte, payload []byte) ([]byte, error) {
+	srv := Serve(ln, func(_ context.Context, msgType byte, payload []byte) ([]byte, error) {
 		return append([]byte("tcp:"), payload...), nil
 	})
 	defer srv.Close()
@@ -228,7 +228,7 @@ func TestWorksOverRealTCP(t *testing.T) {
 }
 
 func TestManySequentialCalls(t *testing.T) {
-	c := startPair(t, func(msgType byte, payload []byte) ([]byte, error) {
+	c := startPair(t, func(_ context.Context, msgType byte, payload []byte) ([]byte, error) {
 		return payload, nil
 	})
 	for i := 0; i < 200; i++ {
@@ -305,7 +305,7 @@ func TestCompressionEndToEnd(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	srv := Serve(ln, func(mt byte, p []byte) ([]byte, error) { return p, nil })
+	srv := Serve(ln, func(_ context.Context, mt byte, p []byte) ([]byte, error) { return p, nil })
 	srv.EnableCompression()
 	defer srv.Close()
 	nc, err := n.Dial("srv")
@@ -352,7 +352,7 @@ func putUint32(b []byte, v uint32) {
 }
 
 func TestHandlerPanicBecomesErrorReply(t *testing.T) {
-	c := startPair(t, func(msgType byte, payload []byte) ([]byte, error) {
+	c := startPair(t, func(_ context.Context, msgType byte, payload []byte) ([]byte, error) {
 		if string(payload) == "boom" {
 			panic("handler exploded")
 		}

@@ -151,8 +151,24 @@ type Options struct {
 	Retry RetryPolicy
 	// CallTimeout bounds each call attempt; attempts exceeding it fail
 	// with a deadline error and are retried under Retry. Zero leaves
-	// deadlines entirely to the caller's context.
+	// deadlines entirely to the caller's context. The remaining budget
+	// travels with each request (docs/PROTOCOL.md, section 8), so servers
+	// cancel work the client has already abandoned.
 	CallTimeout time.Duration
+	// MaxConcurrentCalls caps method invocations executing at once on a
+	// server; excess calls fail fast with ErrOverloaded, or wait if
+	// AdmissionQueue is set. Zero means unlimited.
+	MaxConcurrentCalls int
+	// AdmissionQueue bounds how many over-cap calls may wait for a free
+	// slot instead of being rejected outright. Zero disables queueing.
+	AdmissionQueue int
+	// AdmissionWait bounds how long a queued call waits for a slot before
+	// failing with ErrOverloaded. Zero waits until the caller's propagated
+	// deadline.
+	AdmissionWait time.Duration
+	// MaxRequestBytes rejects call payloads larger than this before any
+	// decoding work on the server. Zero means unlimited.
+	MaxRequestBytes int
 }
 
 // CallInfo identifies one invocation for interceptors.
@@ -173,6 +189,22 @@ type ResponseConsumedError = rmi.ResponseConsumedError
 // rmi layer documentation for the classification rules.
 func Retryable(err error) bool { return rmi.Retryable(err) }
 
+// Typed server rejections; both are safely retryable (the method never
+// ran) and Retryable reports true for them.
+var (
+	// ErrUnavailable is returned for calls reaching a server that is
+	// draining (Server.Shutdown) or stopped.
+	ErrUnavailable = rmi.ErrUnavailable
+	// ErrOverloaded is returned for calls refused by admission control
+	// (Options.MaxConcurrentCalls and the admission queue).
+	ErrOverloaded = rmi.ErrOverloaded
+)
+
+// ServerMetrics is a snapshot of a server's request counters, including
+// the degradation paths: rejected, unavailable, and cancelled calls, and
+// drain duration.
+type ServerMetrics = rmi.Metrics
+
 // rmiOptions lowers public options onto the internal stack.
 func (o Options) rmiOptions() rmi.Options {
 	access := graph.AccessExported
@@ -192,11 +224,15 @@ func (o Options) rmiOptions() rmi.Options {
 			Delta:            o.Delta,
 			DisablePlanCache: o.Portable,
 		},
-		WrapRef:     o.WrapRef,
-		Compress:    o.Compress,
-		Intercept:   o.Intercept,
-		Retry:       o.Retry,
-		CallTimeout: o.CallTimeout,
+		WrapRef:            o.WrapRef,
+		Compress:           o.Compress,
+		Intercept:          o.Intercept,
+		Retry:              o.Retry,
+		CallTimeout:        o.CallTimeout,
+		MaxConcurrentCalls: o.MaxConcurrentCalls,
+		AdmissionQueue:     o.AdmissionQueue,
+		AdmissionWait:      o.AdmissionWait,
+		MaxRequestBytes:    o.MaxRequestBytes,
 	}
 }
 
