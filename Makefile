@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race lint chaos soak cover bench tables verify-tables loc examples fuzz clean
+.PHONY: all build test race lint chaos soak cover bench bench-smoke tables verify-tables loc examples fuzz clean
 
 all: build test
 
@@ -10,7 +10,7 @@ build:
 	$(GO) build ./...
 	$(GO) vet ./...
 
-test: lint soak
+test: lint soak bench-smoke
 	$(GO) vet ./...
 	$(GO) test -race ./...
 
@@ -41,6 +41,12 @@ cover:
 # Micro-benchmarks: one Benchmark per paper table, plus ablations.
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# Perf-regression gate: a short kernels-on/off ablation run (Table 2 and
+# Table 5 workloads, size 256). Fails if the compiled kernels stop cutting
+# at least 30% of allocs/op, and refreshes the BENCH_4.json snapshot.
+bench-smoke:
+	$(GO) run ./cmd/nrmi-bench -smoke BENCH_4.json
 
 # Regenerate the paper's Tables 1-7 over the simulated testbed.
 tables:

@@ -54,6 +54,7 @@ func runCells(b *testing.B, run func(spec bench.RunSpec) (bench.Cell, error)) {
 		for _, size := range benchSizes {
 			name := fmt.Sprintf("%s/size=%d", sc, size)
 			b.Run(name, func(b *testing.B) {
+				b.ReportAllocs()
 				var last bench.Cell
 				for i := 0; i < b.N; i++ {
 					c, err := run(bench.RunSpec{
@@ -81,11 +82,21 @@ func BenchmarkTable1Local(b *testing.B) {
 }
 
 // BenchmarkTable2OneWay is Table 2: RMI call-by-copy, one-way traffic.
+// The kernels/nokernels split isolates the compiled per-type programs and
+// hot-path pooling from the rest of EngineV2 (plan cache stays on in both).
 func BenchmarkTable2OneWay(b *testing.B) {
-	e := newBenchEnv(b, bench.EnvConfig{Profile: benchProfile, Engine: wire.EngineV2})
-	runCells(b, func(spec bench.RunSpec) (bench.Cell, error) {
-		return bench.RunOneWay(e, spec)
-	})
+	for _, v := range []struct {
+		name      string
+		nokernels bool
+	}{{"kernels", false}, {"nokernels", true}} {
+		v := v
+		b.Run(v.name, func(b *testing.B) {
+			e := newBenchEnv(b, bench.EnvConfig{Profile: benchProfile, Engine: wire.EngineV2, DisableKernels: v.nokernels})
+			runCells(b, func(spec bench.RunSpec) (bench.Cell, error) {
+				return bench.RunOneWay(e, spec)
+			})
+		})
+	}
 }
 
 // BenchmarkTable3RestoreLocal is Table 3: manual restore, no network
@@ -115,6 +126,7 @@ func BenchmarkTable5NRMI(b *testing.B) {
 	}{
 		{"jdk1.3", bench.EnvConfig{Profile: benchProfile, Engine: wire.EngineV1}},
 		{"portable", bench.EnvConfig{Profile: benchProfile, Engine: wire.EngineV2, DisablePlanCache: true}},
+		{"nokernels", bench.EnvConfig{Profile: benchProfile, Engine: wire.EngineV2, DisableKernels: true}},
 		{"optimized", bench.EnvConfig{Profile: benchProfile, Engine: wire.EngineV2}},
 	}
 	for _, v := range variants {

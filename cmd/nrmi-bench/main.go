@@ -11,6 +11,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
@@ -34,8 +35,17 @@ func main() {
 		cbrefBudget = flag.Duration("cbref-budget", 5*time.Second, "per-call budget for the call-by-reference table ('-' cells beyond it)")
 		quiet       = flag.Bool("quiet", false, "suppress progress lines")
 		table       = flag.String("table", "", "only print tables whose id contains this substring (e.g. 5); all tables still run")
+		smoke       = flag.String("smoke", "", "run the kernel-ablation smoke benchmark, write the JSON snapshot to this path, and exit")
+		smokeMin    = flag.Float64("smoke-min-reduction", 30, "minimum allocs/op reduction (percent, kernels on vs. off) the smoke run must show; 0 disables the gate")
 	)
 	flag.Parse()
+
+	if *smoke != "" {
+		if err := runSmoke(*smoke, *smokeMin); err != nil {
+			log.Fatalf("nrmi-bench: %v", err)
+		}
+		return
+	}
 
 	if *loc {
 		report, err := bench.CountManualLoC()
@@ -82,6 +92,40 @@ func main() {
 	if !*quiet {
 		fmt.Fprintf(os.Stderr, "total run time: %s\n", time.Since(start).Round(time.Millisecond))
 	}
+}
+
+// runSmoke runs the kernel-ablation smoke benchmark, writes the snapshot
+// to path, and enforces the perf-regression gate: the compiled kernels must
+// keep eliminating at least minReduction percent of the nokernels variant's
+// allocations per call.
+func runSmoke(path string, minReduction float64) error {
+	snap, err := bench.RunBenchSmoke()
+	if err != nil {
+		return err
+	}
+	for _, c := range snap.Cells {
+		fmt.Fprintf(os.Stderr, "%-14s %-10s %8d ns/op %10d B/op %7d allocs/op\n",
+			c.Bench, c.Variant, c.NsPerOp, c.BytesPerOp, c.AllocsPerOp)
+	}
+	for name, pct := range snap.AllocReductionPct {
+		fmt.Fprintf(os.Stderr, "%-14s kernels cut allocs/op by %.1f%% (time by %.1f%%)\n",
+			name, pct, snap.NsReductionPct[name])
+	}
+	data, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	if minReduction > 0 {
+		for name, pct := range snap.AllocReductionPct {
+			if pct < minReduction {
+				return fmt.Errorf("perf regression: %s allocs/op reduction %.1f%% below the %.0f%% gate", name, pct, minReduction)
+			}
+		}
+	}
+	return nil
 }
 
 func parseSizes(s string) ([]int, error) {

@@ -1,0 +1,79 @@
+// Package bufpool provides a size-classed []byte pool shared by the wire
+// and transport layers. Frame payloads, string scratch buffers, and frame
+// assembly buffers are high-frequency, short-lived allocations whose sizes
+// cluster by workload; recycling them through power-of-two classes removes
+// them from the steady-state allocation profile entirely.
+//
+// Buffers are not zeroed between uses: callers own len(p) bytes and must
+// not read past what they wrote. All pooling is best-effort — a buffer that
+// never comes back (caller forgot, or ownership crossed an API that does
+// not release) is simply garbage collected.
+package bufpool
+
+import (
+	"math/bits"
+	"sync"
+)
+
+const (
+	// minBits is the smallest pooled class (64 B); requests below it round
+	// up rather than fragmenting the pool with tiny classes.
+	minBits = 6
+	// maxBits is the largest pooled class (1 MiB); larger buffers are
+	// allocated directly and dropped on Put.
+	maxBits = 20
+)
+
+var classes [maxBits - minBits + 1]sync.Pool
+
+// headers recycles the *[]byte boxes the class pools store, so a steady
+// Get/Put cycle allocates nothing at all — not even the 24-byte slice
+// header that boxing a []byte into an interface would cost on every Put.
+var headers = sync.Pool{New: func() any { return new([]byte) }}
+
+// classFor returns the pool index whose capacity (1<<(minBits+i)) holds n
+// bytes, or -1 when n is out of pooled range.
+func classFor(n int) int {
+	if n <= 0 || n > 1<<maxBits {
+		return -1
+	}
+	b := bits.Len(uint(n - 1)) // ceil(log2 n)
+	if b < minBits {
+		b = minBits
+	}
+	return b - minBits
+}
+
+// Get returns a buffer with len n. Its capacity is the containing power of
+// two, so sub-slicing up to cap is safe. Out-of-range sizes fall back to a
+// plain allocation.
+func Get(n int) []byte {
+	ci := classFor(n)
+	if ci < 0 {
+		return make([]byte, n)
+	}
+	if p, _ := classes[ci].Get().(*[]byte); p != nil {
+		buf := (*p)[:n]
+		*p = nil
+		headers.Put(p)
+		return buf
+	}
+	return make([]byte, n, 1<<(minBits+ci))
+}
+
+// Put recycles a buffer obtained from Get. Buffers whose capacity is not an
+// exact pooled class (grown, re-sliced from elsewhere, or out of range) are
+// dropped. Put of nil is a no-op.
+func Put(p []byte) {
+	c := cap(p)
+	if c == 0 {
+		return
+	}
+	ci := classFor(c)
+	if ci < 0 || c != 1<<(minBits+ci) {
+		return
+	}
+	h := headers.Get().(*[]byte)
+	*h = p[:c]
+	classes[ci].Put(h)
+}

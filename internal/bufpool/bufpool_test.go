@@ -1,0 +1,96 @@
+package bufpool
+
+import (
+	"sync"
+	"testing"
+
+	"nrmi/internal/raceflag"
+)
+
+func TestClassFor(t *testing.T) {
+	cases := []struct {
+		n    int
+		want int
+	}{
+		{0, -1},
+		{-1, -1},
+		{1, 0},
+		{64, 0},
+		{65, 1},
+		{128, 1},
+		{1 << 20, maxBits - minBits},
+		{1<<20 + 1, -1},
+	}
+	for _, c := range cases {
+		if got := classFor(c.n); got != c.want {
+			t.Errorf("classFor(%d) = %d, want %d", c.n, got, c.want)
+		}
+	}
+}
+
+func TestGetLenAndCap(t *testing.T) {
+	for _, n := range []int{1, 63, 64, 65, 1000, 1 << 20} {
+		p := Get(n)
+		if len(p) != n {
+			t.Fatalf("Get(%d): len = %d", n, len(p))
+		}
+		if c := cap(p); c&(c-1) != 0 || c < 64 {
+			t.Fatalf("Get(%d): cap %d is not a pooled class", n, c)
+		}
+		Put(p)
+	}
+	// Out-of-range sizes still work, just unpooled.
+	big := Get(1<<20 + 1)
+	if len(big) != 1<<20+1 {
+		t.Fatalf("oversize Get: len = %d", len(big))
+	}
+	Put(big) // dropped silently
+	Put(nil) // no-op
+}
+
+func TestPutDropsForeignBuffers(t *testing.T) {
+	// A buffer whose capacity is not an exact class must not poison a pool.
+	foreign := make([]byte, 100) // cap 100, not a power of two
+	Put(foreign)
+	p := Get(100)
+	if cap(p) != 128 {
+		t.Fatalf("Get(100) after foreign Put: cap = %d, want 128", cap(p))
+	}
+}
+
+func TestSteadyStateAllocFree(t *testing.T) {
+	if raceflag.Enabled {
+		t.Skip("alloc counts are not meaningful under -race (sync.Pool drops Puts)")
+	}
+	for i := 0; i < 4; i++ {
+		Put(Get(512)) // warm the class
+	}
+	avg := testing.AllocsPerRun(100, func() {
+		p := Get(512)
+		p[0] = 1
+		Put(p)
+	})
+	if avg > 0 {
+		t.Fatalf("warm Get/Put allocates %.1f/run, want 0", avg)
+	}
+}
+
+func TestConcurrentGetPut(t *testing.T) {
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				n := 1 << (6 + (g+i)%8)
+				p := Get(n)
+				if len(p) != n {
+					t.Errorf("len = %d, want %d", len(p), n)
+				}
+				p[0], p[len(p)-1] = byte(g), byte(i)
+				Put(p)
+			}
+		}(g)
+	}
+	wg.Wait()
+}

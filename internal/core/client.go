@@ -23,11 +23,34 @@ type Call struct {
 	restorableRoots []reflect.Value
 	numRestorable   int
 	finished        bool
+	// pooled records that enc came from the codec pool and must go back.
+	pooled bool
 }
 
 // NewCall starts encoding a request onto w.
 func NewCall(w io.Writer, opts Options) *Call {
-	return &Call{opts: opts, enc: wire.NewEncoder(w, opts.wireOptions())}
+	c := &Call{opts: opts}
+	if opts.kernelsEnabled() {
+		c.enc = wire.AcquireEncoder(w, opts.wireOptions())
+		c.pooled = true
+	} else {
+		c.enc = wire.NewEncoder(w, opts.wireOptions())
+	}
+	return c
+}
+
+// Release returns the Call's pooled codec state. Call it once the response
+// has been applied (or the call abandoned); the Call and anything obtained
+// from Objects() must not be used afterwards. Safe on a nil receiver.
+func (c *Call) Release() {
+	if c == nil || c.enc == nil {
+		return
+	}
+	if c.pooled {
+		wire.ReleaseEncoder(c.enc)
+	}
+	c.enc = nil
+	c.restorableRoots = nil
 }
 
 // EncodeCopy encodes a call-by-copy argument. Structure shared with other
@@ -114,7 +137,14 @@ type Response struct {
 // the response decoder: by-copy argument objects must decode as fresh
 // copies, exactly as under plain RMI.
 func (c *Call) restorableSet() ([]int, error) {
-	w := graph.NewWalker(c.opts.Access)
+	var w *graph.Walker
+	if c.opts.kernelsEnabled() {
+		w = graph.AcquireWalker(c.opts.Access)
+		defer graph.ReleaseWalker(w)
+	} else {
+		w = graph.NewWalker(c.opts.Access)
+		w.NoKernels = true
+	}
 	for _, root := range c.restorableRoots {
 		if !root.IsValid() {
 			continue
@@ -140,7 +170,16 @@ func (c *Call) restorableSet() ([]int, error) {
 // every pre-call object observes the server's mutations. It implements
 // steps 4–6 of the paper's algorithm in a single pass.
 func (c *Call) ApplyResponse(r io.Reader) (*Response, error) {
-	dec := wire.NewDecoder(r, c.opts.wireOptions())
+	kernels := c.opts.kernelsEnabled()
+	var dec *wire.Decoder
+	if kernels {
+		// Pooled codec: released on the success path below. On error the
+		// decoder is simply dropped — its table may still be referenced by
+		// partially decoded state, so it must not be recycled.
+		dec = wire.AcquireDecoder(r, c.opts.wireOptions())
+	} else {
+		dec = wire.NewDecoder(r, c.opts.wireOptions())
+	}
 	// Seed the response decoder with the restorable subset of the request
 	// object table, in ascending stream-ID order: references to those IDs
 	// must resolve to the original client objects, while everything else
@@ -207,20 +246,37 @@ func (c *Call) ApplyResponse(r io.Reader) (*Response, error) {
 	// restore. The commit is two-phase — validate every (orig, tmp) pair
 	// before the first overwrite — so a malformed reply fails with the
 	// caller's graph untouched rather than half-restored.
-	for _, u := range updates {
-		if err := validateRestore(u.orig, u.tmp); err != nil {
-			return nil, err
+	if kernels {
+		// Compiled restore programs: kind dispatch resolved once per type,
+		// map commits via Clear + pooled iterator.
+		for _, u := range updates {
+			if err := restoreKernelFor(u.orig.Type()).validate(u.orig, u.tmp); err != nil {
+				return nil, err
+			}
+		}
+		for _, u := range updates {
+			restoreKernelFor(u.orig.Type()).commit(u.orig, u.tmp)
+		}
+	} else {
+		for _, u := range updates {
+			if err := validateRestore(u.orig, u.tmp); err != nil {
+				return nil, err
+			}
+		}
+		for _, u := range updates {
+			commitRestore(u.orig, u.tmp)
 		}
 	}
-	for _, u := range updates {
-		commitRestore(u.orig, u.tmp)
-	}
-	return &Response{
+	resp := &Response{
 		Returns:       rets,
 		Restored:      len(updates),
 		NewObjects:    len(dec.Objects()) - numSeeded,
 		BytesReceived: dec.BytesRead(),
-	}, nil
+	}
+	if kernels {
+		wire.ReleaseDecoder(dec)
+	}
+	return resp, nil
 }
 
 // validateRestore checks that tmp's contents can be committed into orig:

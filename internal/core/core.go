@@ -97,6 +97,12 @@ type Options struct {
 	// ablation can measure what the optimization saves; both endpoints
 	// must agree on the setting.
 	ShipLinearMap bool
+	// DisableKernels turns off the compiled per-type traversal/codec
+	// kernels and the pooled hot-path state (walkers, codecs, restore
+	// programs) while keeping the plan cache, isolating "compiled
+	// programs + pooling" from "cached reflection metadata" in the
+	// ablation; see wire.Options.DisableKernels.
+	DisableKernels bool
 }
 
 func (o Options) wireOptions() wire.Options {
@@ -106,7 +112,17 @@ func (o Options) wireOptions() wire.Options {
 		Registry:         o.Registry,
 		MaxElems:         o.MaxElems,
 		DisablePlanCache: o.DisablePlanCache,
+		DisableKernels:   o.DisableKernels,
 	}
+}
+
+// kernelsEnabled reports whether the compiled-kernel fast paths and the
+// pooled hot-path state are active. Engine V1 (the JDK 1.3 stand-in) and
+// both portable-column ablations (DisablePlanCache, DisableKernels) take
+// the generic reflective paths with per-call allocation, preserving the
+// allocation profile the paper's slow columns are modeled on.
+func (o Options) kernelsEnabled() bool {
+	return o.Engine != wire.EngineV1 && !o.DisablePlanCache && !o.DisableKernels
 }
 
 // Errors reported by the copy-restore protocol.

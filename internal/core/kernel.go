@@ -1,0 +1,94 @@
+package core
+
+import (
+	"fmt"
+	"reflect"
+	"sync"
+
+	"nrmi/internal/graph"
+)
+
+// Restore-overwrite kernels: the per-type continuation of the compiled
+// programs in internal/graph and internal/wire. The generic
+// validateRestore/commitRestore pair re-dispatches on reflect.Kind per
+// object and, for maps, collects the stale key set into a fresh slice on
+// every commit. A restore kernel resolves the kind once per type and
+// commits maps with reflect.Value.Clear plus a pooled iterator, so the
+// commit loop of ApplyResponse is straight-line per object. Validation
+// errors are identical to the generic path's.
+
+// restoreKernel is the compiled validate/commit program for one restorable
+// type.
+type restoreKernel struct {
+	// validate proves commit cannot fail: type identity, restorable kind,
+	// and (slices) unchanged length.
+	validate func(orig, tmp reflect.Value) error
+	// commit overwrites orig's contents with tmp's; infallible after
+	// validate.
+	commit func(orig, tmp reflect.Value)
+}
+
+var restoreCache sync.Map // reflect.Type -> *restoreKernel
+
+// restoreKernelFor returns the compiled restore program for type t,
+// compiling it on first use. Duplicate concurrent compiles are harmless.
+func restoreKernelFor(t reflect.Type) *restoreKernel {
+	if k, ok := restoreCache.Load(t); ok {
+		return k.(*restoreKernel)
+	}
+	k := compileRestore(t)
+	restoreCache.Store(t, k)
+	return k
+}
+
+func compileRestore(t reflect.Type) *restoreKernel {
+	k := &restoreKernel{}
+	typeCheck := func(orig, tmp reflect.Value) error {
+		if tmp.Type() != t {
+			return fmt.Errorf("%w: restoring %s into %s", ErrBadResponse, tmp.Type(), orig.Type())
+		}
+		return nil
+	}
+	switch t.Kind() {
+	case reflect.Ptr:
+		k.validate = typeCheck
+		k.commit = func(orig, tmp reflect.Value) {
+			orig.Elem().Set(tmp.Elem())
+		}
+	case reflect.Map:
+		k.validate = typeCheck
+		k.commit = func(orig, tmp reflect.Value) {
+			// In-place refill of the header every alias shares; Clear keeps
+			// the buckets, unlike the generic stale-key sweep.
+			orig.Clear()
+			iter := graph.AcquireMapIter(tmp)
+			defer graph.ReleaseMapIter(iter)
+			for iter.Next() {
+				orig.SetMapIndex(iter.Key(), iter.Value())
+			}
+		}
+	case reflect.Slice:
+		k.validate = func(orig, tmp reflect.Value) error {
+			if err := typeCheck(orig, tmp); err != nil {
+				return err
+			}
+			if orig.Len() != tmp.Len() {
+				return fmt.Errorf("%w: slice length changed %d -> %d", ErrBadResponse, orig.Len(), tmp.Len())
+			}
+			return nil
+		}
+		k.commit = func(orig, tmp reflect.Value) {
+			reflect.Copy(orig, tmp)
+		}
+	default:
+		err := fmt.Errorf("%w: cannot restore kind %s", ErrBadResponse, t.Kind())
+		k.validate = func(orig, tmp reflect.Value) error {
+			if e := typeCheck(orig, tmp); e != nil {
+				return e
+			}
+			return err
+		}
+		k.commit = func(orig, tmp reflect.Value) {}
+	}
+	return k
+}

@@ -29,11 +29,39 @@ type ServerCall struct {
 	// snapshot pairs pre-call object identities with deep-copied snapshots
 	// when delta encoding is on.
 	snapshot *graph.Copier
+
+	// pooled records that dec came from the codec pool and must go back.
+	pooled bool
 }
 
 // AcceptCall starts decoding a request from r.
 func AcceptCall(r io.Reader, opts Options) *ServerCall {
-	return &ServerCall{opts: opts, dec: wire.NewDecoder(r, opts.wireOptions())}
+	s := &ServerCall{opts: opts}
+	if opts.kernelsEnabled() {
+		s.dec = wire.AcquireDecoder(r, opts.wireOptions())
+		s.pooled = true
+	} else {
+		s.dec = wire.NewDecoder(r, opts.wireOptions())
+	}
+	return s
+}
+
+// Release returns the call's pooled codec state. Call it after the response
+// has been encoded; the decoded argument objects themselves stay valid (the
+// pool only drops its references to them), but the ServerCall must not be
+// used afterwards. Safe on a nil receiver.
+func (s *ServerCall) Release() {
+	if s == nil || s.dec == nil {
+		return
+	}
+	if s.pooled {
+		wire.ReleaseDecoder(s.dec)
+	}
+	s.dec = nil
+	s.restorableRoots = nil
+	s.restoreIDs = nil
+	s.identToID = nil
+	s.snapshot = nil
 }
 
 // DecodeCopy decodes a call-by-copy argument.
@@ -111,6 +139,7 @@ func (s *ServerCall) Prepare() error {
 	s.restoreIDs = set
 	if s.opts.Delta {
 		s.snapshot = graph.NewCopier(access)
+		s.snapshot.NoKernels = !s.opts.kernelsEnabled()
 		for _, root := range s.restorableRoots {
 			if _, err := s.snapshot.CopyValue(root); err != nil {
 				return fmt.Errorf("core: delta snapshot: %w", err)
@@ -136,7 +165,16 @@ func (s *ServerCall) effectiveAccess() graph.AccessMode {
 // post-call walk) are skipped; without it their presence is an internal
 // error, since the pre-call roots came from the table itself.
 func (s *ServerCall) reachableIDs(access graph.AccessMode, allowNew bool) ([]int, error) {
-	w := graph.NewWalker(access)
+	var w *graph.Walker
+	if s.opts.kernelsEnabled() {
+		// Only plain stream IDs leave this function, so the pooled walker's
+		// no-retention contract holds.
+		w = graph.AcquireWalker(access)
+		defer graph.ReleaseWalker(w)
+	} else {
+		w = graph.NewWalker(access)
+		w.NoKernels = true
+	}
 	for _, root := range s.restorableRoots {
 		if err := w.RootValue(root); err != nil {
 			return nil, fmt.Errorf("core: walking restorable parameters: %w", err)
@@ -181,7 +219,15 @@ func (s *ServerCall) EncodeResponse(w io.Writer, rets []any) (*ResponseStats, er
 	access := s.effectiveAccess()
 	sendOpts := s.opts
 	sendOpts.Access = access
-	enc := wire.NewEncoder(w, sendOpts.wireOptions())
+	kernels := sendOpts.kernelsEnabled()
+	var enc *wire.Encoder
+	if kernels {
+		// Pooled codec, released on the success path; dropped (not
+		// recycled) on error.
+		enc = wire.AcquireEncoder(w, sendOpts.wireOptions())
+	} else {
+		enc = wire.NewEncoder(w, sendOpts.wireOptions())
+	}
 	// Seed the response encoder with the restorable subset of the decode
 	// table, in ascending stream-ID order — the exact set and order the
 	// client's ApplyResponse reconstructs independently. Objects outside
@@ -226,11 +272,15 @@ func (s *ServerCall) EncodeResponse(w io.Writer, rets []any) (*ResponseStats, er
 	if err := enc.Flush(); err != nil {
 		return nil, err
 	}
-	return &ResponseStats{
+	stats := &ResponseStats{
 		OldTotal:  len(s.restoreIDs),
 		OldSent:   len(include),
 		BytesSent: enc.BytesWritten(),
-	}, nil
+	}
+	if kernels {
+		wire.ReleaseEncoder(enc)
+	}
+	return stats, nil
 }
 
 // filterIDs applies the restore policy and delta filtering to the pre-call

@@ -14,6 +14,11 @@ type Copier struct {
 	// Access selects the struct-field access mode.
 	Access AccessMode
 
+	// NoKernels disables the compiled per-type kernels and forces the
+	// generic per-node dispatch, modeling the paper's portable
+	// implementation (see Walker.NoKernels).
+	NoKernels bool
+
 	memo map[Ident]reflect.Value // source identity -> copied reference
 }
 
@@ -42,7 +47,7 @@ func (c *Copier) Copy(v any) (any, error) {
 	if v == nil {
 		return nil, nil
 	}
-	out, err := c.copyValue(reflect.ValueOf(v), 0)
+	out, err := c.CopyValue(reflect.ValueOf(v))
 	if err != nil {
 		return nil, err
 	}
@@ -51,6 +56,9 @@ func (c *Copier) Copy(v any) (any, error) {
 
 // CopyValue is Copy for callers holding reflect.Values.
 func (c *Copier) CopyValue(v reflect.Value) (reflect.Value, error) {
+	if !c.NoKernels && v.IsValid() {
+		return kernelFor(v.Type(), c.Access).cpy(c, v, 0)
+	}
 	return c.copyValue(v, 0)
 }
 

@@ -1,0 +1,262 @@
+package graph
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"nrmi/internal/raceflag"
+)
+
+// kernelZoo builds a set of graphs covering everything the compiled
+// kernels dispatch on: cycles, cross-links, unexported fields, interfaces,
+// maps, slices, arrays, leaf-only slices, and nested containers.
+type zooHidden struct {
+	Exported int
+	hidden   *zooHidden
+	label    string
+}
+
+type zooIface struct {
+	Any  any
+	Next *zooIface
+}
+
+type zooMixed struct {
+	Name   string
+	Nums   []int
+	ByName map[string]*node
+	Grid   [3]int
+	Deep   [][]string
+}
+
+func kernelZoo() []any {
+	cyc := &node{Data: 1}
+	cyc.Left = &node{Data: 2, Right: cyc} // cycle back to root
+
+	dag := &node{Data: 10}
+	shared := &node{Data: 11}
+	dag.Left, dag.Right = shared, shared // aliasing
+
+	hid := &zooHidden{Exported: 1, label: "a"}
+	hid.hidden = &zooHidden{Exported: 2, label: "b", hidden: hid}
+
+	ifc := &zooIface{Any: 7}
+	ifc.Next = &zooIface{Any: "str"}
+	ifc.Next.Next = &zooIface{Any: ifc} // interface cycle
+
+	mixed := &zooMixed{
+		Name:   "zoo",
+		Nums:   []int{1, 2, 3},
+		ByName: map[string]*node{"x": {Data: 5}},
+		Grid:   [3]int{4, 5, 6},
+		Deep:   [][]string{{"p"}, {"q", "r"}},
+	}
+
+	return []any{
+		nil,
+		42,
+		"leaf",
+		cyc,
+		dag,
+		hid,
+		ifc,
+		mixed,
+		[]int{9, 8, 7},          // leaf-only slice fast path
+		[]*node{cyc, dag, nil},  // identity-bearing slice
+		map[int]int{1: 2, 3: 4}, // leaf map
+		&[4]byte{1, 2, 3, 4},    // byte array behind pointer
+	}
+}
+
+// TestKernelWalkMatchesGeneric: for every zoo graph and both access modes,
+// the compiled walk must discover exactly the objects, in exactly the
+// order, of the generic reflective walk.
+func TestKernelWalkMatchesGeneric(t *testing.T) {
+	for _, mode := range []AccessMode{AccessExported, AccessUnsafe} {
+		for i, g := range kernelZoo() {
+			fast := NewWalker(mode)
+			slow := NewWalker(mode)
+			slow.NoKernels = true
+			errFast := fast.Root(g)
+			errSlow := slow.Root(g)
+			if (errFast == nil) != (errSlow == nil) {
+				t.Fatalf("zoo[%d] mode %s: kernel err %v, generic err %v", i, mode, errFast, errSlow)
+			}
+			if errFast != nil {
+				if errFast.Error() != errSlow.Error() {
+					t.Fatalf("zoo[%d] mode %s: error text diverged: %q vs %q", i, mode, errFast, errSlow)
+				}
+				continue
+			}
+			fo, so := fast.LinearMap().Objects(), slow.LinearMap().Objects()
+			if len(fo) != len(so) {
+				t.Fatalf("zoo[%d] mode %s: kernel found %d objects, generic %d", i, mode, len(fo), len(so))
+			}
+			for j := range fo {
+				fi, _ := IdentOf(fo[j].Ref)
+				si, _ := IdentOf(so[j].Ref)
+				if fi != si {
+					t.Fatalf("zoo[%d] mode %s: linear map diverges at %d", i, mode, j)
+				}
+			}
+		}
+	}
+}
+
+// TestKernelCopyMatchesGeneric: compiled deep copy must produce graphs
+// deep-equal to the generic copier's, preserving aliasing.
+func TestKernelCopyMatchesGeneric(t *testing.T) {
+	for _, mode := range []AccessMode{AccessExported, AccessUnsafe} {
+		for i, g := range kernelZoo() {
+			fast := NewCopier(mode)
+			slow := NewCopier(mode)
+			slow.NoKernels = true
+			cf, errFast := fast.Copy(g)
+			cs, errSlow := slow.Copy(g)
+			if (errFast == nil) != (errSlow == nil) {
+				t.Fatalf("zoo[%d] mode %s: kernel err %v, generic err %v", i, mode, errFast, errSlow)
+			}
+			if errFast != nil {
+				continue
+			}
+			eq, err := Equal(mode, cf, cs)
+			if err != nil || !eq {
+				t.Fatalf("zoo[%d] mode %s: copies differ (%v %v)", i, mode, eq, err)
+			}
+			// The copy must also equal the original.
+			eq, err = Equal(mode, g, cf)
+			if err != nil || !eq {
+				t.Fatalf("zoo[%d] mode %s: copy != original (%v %v)", i, mode, eq, err)
+			}
+		}
+	}
+}
+
+// TestKernelEqualMatchesGeneric: the compiled equality must agree with the
+// generic reference implementation on equal pairs, unequal pairs, and
+// errors.
+func TestKernelEqualMatchesGeneric(t *testing.T) {
+	zoo := kernelZoo()
+	for _, mode := range []AccessMode{AccessExported, AccessUnsafe} {
+		for i, a := range zoo {
+			for j, b := range zoo {
+				ke, kerr := Equal(mode, a, b)
+				ge, gerr := equalGeneric(mode, a, b)
+				if (kerr == nil) != (gerr == nil) {
+					t.Fatalf("zoo[%d] vs zoo[%d] mode %s: kernel err %v, generic err %v", i, j, mode, kerr, gerr)
+				}
+				if kerr == nil && ke != ge {
+					t.Fatalf("zoo[%d] vs zoo[%d] mode %s: kernel=%v generic=%v", i, j, mode, ke, ge)
+				}
+			}
+		}
+	}
+}
+
+// TestKernelForbiddenKindErrors: kernels defer forbidden-kind errors to
+// run time; the error must match the generic walker's exactly.
+func TestKernelForbiddenKindErrors(t *testing.T) {
+	type badChan struct{ C chan int }
+	bad := &badChan{C: make(chan int)}
+	fast := NewWalker(AccessExported)
+	slow := NewWalker(AccessExported)
+	slow.NoKernels = true
+	errFast := fast.Root(bad)
+	errSlow := slow.Root(bad)
+	if errFast == nil || errSlow == nil {
+		t.Fatalf("chan field must fail: kernel %v, generic %v", errFast, errSlow)
+	}
+	if errFast.Error() != errSlow.Error() {
+		t.Fatalf("error text diverged:\n  kernel:  %v\n  generic: %v", errFast, errSlow)
+	}
+	if !errors.Is(errFast, ErrNotSerializable) {
+		t.Fatalf("kernel error must wrap ErrNotSerializable: %v", errFast)
+	}
+}
+
+// TestWalkAllocsSteadyState: after kernel warm-up, a pooled walk of a
+// cached type must stay within a small fixed allocation budget,
+// independent of graph size (the objects come from the caller; the walk
+// itself reuses pooled state).
+func TestWalkAllocsSteadyState(t *testing.T) {
+	if raceflag.Enabled {
+		t.Skip("alloc counts are not meaningful under -race (sync.Pool drops Puts)")
+	}
+	root := buildChain(64)
+	// Warm the kernel cache and the pools.
+	for i := 0; i < 5; i++ {
+		w := AcquireWalker(AccessExported)
+		if err := w.Root(root); err != nil {
+			t.Fatal(err)
+		}
+		ReleaseWalker(w)
+	}
+	avg := testing.AllocsPerRun(20, func() {
+		w := AcquireWalker(AccessExported)
+		if err := w.Root(root); err != nil {
+			t.Fatal(err)
+		}
+		ReleaseWalker(w)
+	})
+	// Budget: a few allocs of slack for map-internal rehashing; the
+	// per-node costs (ref cells, map entries, object slots) must all be
+	// amortized away by the pools.
+	const budget = 8
+	if avg > budget {
+		t.Fatalf("steady-state walk allocates %.1f/run, budget %d", avg, budget)
+	}
+}
+
+func buildChain(n int) *node {
+	root := &node{Data: 0}
+	cur := root
+	for i := 1; i < n; i++ {
+		cur.Left = &node{Data: i}
+		cur = cur.Left
+	}
+	return root
+}
+
+// TestKernelConcurrentStress hammers the shared kernel cache and pools
+// from many goroutines (run under -race in make test): concurrent
+// first-compiles of the same types, walks, copies, and equality checks.
+func TestKernelConcurrentStress(t *testing.T) {
+	type stressT struct {
+		ID    int
+		Kids  []*stressT
+		Tags  map[string]int
+		Extra any
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				root := &stressT{ID: g, Tags: map[string]int{fmt.Sprint(i): i}}
+				root.Kids = []*stressT{{ID: i, Extra: "x"}, root}
+				w := AcquireWalker(AccessExported)
+				if err := w.Root(root); err != nil {
+					t.Error(err)
+				}
+				n := w.LinearMap().Len()
+				ReleaseWalker(w)
+				if n == 0 {
+					t.Error("empty linear map")
+				}
+				c := NewCopier(AccessExported)
+				cp, err := c.Copy(root)
+				if err != nil {
+					t.Error(err)
+					continue
+				}
+				if eq, err := Equal(AccessExported, root, cp); err != nil || !eq {
+					t.Errorf("copy not equal: %v %v", eq, err)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}

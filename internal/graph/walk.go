@@ -15,6 +15,13 @@ type Walker struct {
 	// Access selects the struct-field access mode.
 	Access AccessMode
 
+	// NoKernels disables the compiled per-type kernels (kernel.go) and
+	// forces the generic per-node reflect.Kind dispatch below. It models
+	// the paper's "portable" implementation, which examines every object
+	// through plain reflection instead of cached per-type metadata
+	// (Section 5.3.1).
+	NoKernels bool
+
 	lm   *LinearMap
 	done map[Ident]bool
 }
@@ -42,6 +49,9 @@ func (w *Walker) Root(v any) error {
 
 // RootValue is Root for callers that already hold a reflect.Value.
 func (w *Walker) RootValue(v reflect.Value) error {
+	if !w.NoKernels && v.IsValid() {
+		return kernelFor(v.Type(), w.Access).walk(w, v, 0)
+	}
 	return w.visit(v, 0)
 }
 
@@ -70,6 +80,9 @@ func (w *Walker) EnsureContents(obj *Object) error {
 		return nil
 	}
 	w.done[id] = true
+	if !w.NoKernels {
+		return kernelFor(obj.Ref.Type(), w.Access).walkContents(w, obj.Ref, 0)
+	}
 	return w.visitContents(obj.Ref, 0)
 }
 

@@ -13,7 +13,10 @@
 //   - interceptor-discipline: an Interceptor must invoke next exactly
 //     once on every path that reports success;
 //   - guarded-escape: a Guarded.With closure must not leak the root
-//     outside the critical section.
+//     outside the critical section;
+//   - pool-reset: objects returned to a sync.Pool must be reset in the
+//     same function, so one call's object graph never rides a pooled
+//     walker, codec, or buffer into the next call.
 //
 // Each check has a stable ID usable with nrmi-vet's -checks flag, and a
 // testdata package under testdata/src/<id> exercising it.
@@ -72,6 +75,11 @@ func Checks() []Check {
 			ID:  "guarded-escape",
 			Doc: "Guarded.With closures must not leak the root outside the critical section",
 			Run: checkGuardedEscape,
+		},
+		{
+			ID:  "pool-reset",
+			Doc: "objects must be reset before sync.Pool.Put so no state leaks into the next Get",
+			Run: checkPoolReset,
 		},
 	}
 }

@@ -102,6 +102,7 @@ func TestRestorableClosure(t *testing.T)     { runCheckTest(t, "restorable-closu
 func TestRegistryCoverage(t *testing.T)      { runCheckTest(t, "registry-coverage", "registrycov") }
 func TestInterceptorDiscipline(t *testing.T) { runCheckTest(t, "interceptor-discipline", "interceptor") }
 func TestGuardedEscape(t *testing.T)         { runCheckTest(t, "guarded-escape", "guarded") }
+func TestPoolReset(t *testing.T)             { runCheckTest(t, "pool-reset", "poolreset") }
 
 // TestExpandSkipsTestdata verifies pattern expansion mirrors the go
 // tool: testdata and hidden directories never join a ./... walk.

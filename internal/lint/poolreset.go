@@ -1,0 +1,184 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// checkPoolReset implements the pool-reset check. A sync.Pool recycles
+// objects verbatim: whatever state an object carries at Put time is handed
+// to the next Get. For NRMI's pooled walkers, codecs, and buffers that
+// state includes references into user object graphs — a missing reset
+// therefore pins arbitrary user data in the pool (a leak) and can bleed
+// one call's graph into another's (a correctness hazard the runtime never
+// detects). The check requires every sync.Pool Put of a locally held
+// object to be preceded, in the same function body, by a sanitizing step
+// on that object:
+//
+//   - a reset-family method call (Reset/reset, Close, Clear/clear), on
+//     the object or one of its fields;
+//   - the clear builtin applied to the object or one of its fields;
+//   - an assignment through or into the object (*p = ..., p.f = ...),
+//     which is how slice headers and field references are dropped.
+//
+// Putting a freshly constructed value (a composite literal, new(T), or a
+// call result) is exempt: it never held another use's state. The
+// same-function requirement is deliberate — reset discipline that spans
+// functions cannot be checked locally and is rejected rather than
+// trusted.
+func checkPoolReset(p *Package) []Diagnostic {
+	if p.Pkg == nil {
+		return nil
+	}
+	var diags []Diagnostic
+	emit := func(pos token.Pos, msg string) {
+		diags = append(diags, Diagnostic{
+			Pos:     p.Fset.Position(pos),
+			Check:   "pool-reset",
+			Message: msg,
+		})
+	}
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			var body *ast.BlockStmt
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				body = fn.Body
+			case *ast.FuncLit:
+				body = fn.Body
+			default:
+				return true
+			}
+			if body != nil {
+				checkPutsInBody(p, body, emit)
+			}
+			return true // nested function literals are visited on their own
+		})
+	}
+	return diags
+}
+
+// checkPutsInBody flags unsanitized Pool.Put calls directly inside body.
+// Nested function literals are skipped: each is analyzed as its own
+// function, so a Put and its reset must share one body.
+func checkPutsInBody(p *Package, body *ast.BlockStmt, emit func(token.Pos, string)) {
+	inspectSameFunc(body, func(n ast.Node) {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || len(call.Args) != 1 {
+			return
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "Put" || !isSyncPool(p, sel.X) {
+			return
+		}
+		obj := pooledArgObject(p, call.Args[0])
+		if obj == nil {
+			return // fresh value (literal, new, call result): nothing stale
+		}
+		if !sanitizedBefore(p, body, obj, call.Pos()) {
+			emit(call.Pos(),
+				obj.Name()+" is returned to the pool without a reset in this function; "+
+					"its state rides along to the next Get, pinning user objects and leaking them across calls")
+		}
+	})
+}
+
+// inspectSameFunc walks body like ast.Inspect but does not descend into
+// nested function literals.
+func inspectSameFunc(body *ast.BlockStmt, visit func(ast.Node)) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		if n != nil {
+			visit(n)
+		}
+		return true
+	})
+}
+
+// isSyncPool reports whether expr is (a pointer to) sync.Pool.
+func isSyncPool(p *Package, expr ast.Expr) bool {
+	tv, ok := p.Info.Types[expr]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	t := types.Unalias(tv.Type)
+	if ptr, isPtr := t.Underlying().(*types.Pointer); isPtr {
+		t = types.Unalias(ptr.Elem())
+	}
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Name() == "Pool" &&
+		named.Obj().Pkg() != nil && named.Obj().Pkg().Path() == "sync"
+}
+
+// pooledArgObject resolves a Put argument to the local object holding the
+// pooled value, unwrapping &x and parentheses. A nil result means the
+// argument is not a reusable reference (fresh composite, new(T), call
+// result) and carries no prior-use state.
+func pooledArgObject(p *Package, arg ast.Expr) types.Object {
+	for {
+		switch x := arg.(type) {
+		case *ast.ParenExpr:
+			arg = x.X
+		case *ast.UnaryExpr:
+			if x.Op != token.AND {
+				return nil
+			}
+			arg = x.X
+		case *ast.Ident:
+			return p.Info.Uses[x]
+		default:
+			return nil
+		}
+	}
+}
+
+// sanitizedBefore reports whether obj receives a sanitizing step before
+// pos within body (nested function literals excluded).
+func sanitizedBefore(p *Package, body *ast.BlockStmt, obj types.Object, pos token.Pos) bool {
+	rootedInObj := func(e ast.Expr) bool {
+		base := baseIdent(e)
+		return base != nil && p.Info.Uses[base] == obj
+	}
+	found := false
+	inspectSameFunc(body, func(n ast.Node) {
+		if found || n.Pos() >= pos {
+			return
+		}
+		switch st := n.(type) {
+		case *ast.CallExpr:
+			if sel, ok := st.Fun.(*ast.SelectorExpr); ok {
+				if isResetName(sel.Sel.Name) && rootedInObj(sel.X) {
+					found = true
+				}
+				return
+			}
+			// The clear builtin on the object or one of its fields.
+			if id, ok := st.Fun.(*ast.Ident); ok && id.Name == "clear" &&
+				len(st.Args) == 1 && rootedInObj(st.Args[0]) {
+				found = true
+			}
+		case *ast.AssignStmt:
+			// *p = ..., p.f = ..., p.f = p.f[:0]: dropping held references.
+			for _, lhs := range st.Lhs {
+				if rootedInObj(lhs) {
+					found = true
+					return
+				}
+			}
+		}
+	})
+	return found
+}
+
+// isResetName reports whether a method name belongs to the reset family.
+func isResetName(name string) bool {
+	switch strings.ToLower(name) {
+	case "reset", "close", "clear":
+		return true
+	}
+	return false
+}

@@ -1,0 +1,124 @@
+// Package poolreset exercises the pool-reset check: every sync.Pool Put
+// of a reusable object must be preceded, in the same function, by a reset
+// of that object.
+package poolreset
+
+import (
+	"bytes"
+	"sync"
+)
+
+var bufPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+
+type scratch struct {
+	data []byte
+	next *scratch
+}
+
+func (s *scratch) reset() {
+	s.data = nil
+	s.next = nil
+}
+
+var scratchPool sync.Pool
+
+type sink struct{ n int }
+
+func (s *sink) Close() error { s.n = 0; return nil }
+
+var sinkPool sync.Pool
+
+var headerPool = sync.Pool{New: func() any { return new([]byte) }}
+
+// LeakBuffer puts a dirty buffer back: its contents reach the next Get.
+func LeakBuffer() {
+	b := bufPool.Get().(*bytes.Buffer)
+	b.WriteString("secret")
+	bufPool.Put(b) // want `b is returned to the pool without a reset`
+}
+
+// RecycleBuffer resets before Put: clean.
+func RecycleBuffer() {
+	b := bufPool.Get().(*bytes.Buffer)
+	b.WriteString("x")
+	b.Reset()
+	bufPool.Put(b)
+}
+
+// DeferredRecycle resets and puts in one deferred closure: clean, because
+// the reset and the Put share a function body.
+func DeferredRecycle() {
+	b := bufPool.Get().(*bytes.Buffer)
+	defer func() {
+		b.Reset()
+		bufPool.Put(b)
+	}()
+	b.WriteString("y")
+}
+
+// LeakDeferred defers a bare Put with no reset anywhere.
+func LeakDeferred() {
+	b := bufPool.Get().(*bytes.Buffer)
+	defer bufPool.Put(b) // want `b is returned to the pool without a reset`
+	b.WriteString("z")
+}
+
+// resetElsewhere really does reset s — but in another function, which the
+// check deliberately rejects: cross-function reset discipline cannot be
+// verified locally.
+func resetElsewhere(s *scratch) { s.reset() }
+
+// LeakViaHelper launders the reset through a helper.
+func LeakViaHelper() {
+	s := scratchPool.Get().(*scratch)
+	resetElsewhere(s)
+	scratchPool.Put(s) // want `s is returned to the pool without a reset`
+}
+
+// RecycleScratch calls the reset method: clean.
+func RecycleScratch() {
+	s := scratchPool.Get().(*scratch)
+	s.reset()
+	scratchPool.Put(s)
+}
+
+// RecycleWithClear uses the clear builtin plus a field assignment: clean.
+func RecycleWithClear() {
+	s := scratchPool.Get().(*scratch)
+	clear(s.data)
+	s.next = nil
+	scratchPool.Put(s)
+}
+
+// CloseCounts: Close is in the reset family (flate.Writer-style types
+// finalize with Close and re-arm with Reset on the next Get).
+func CloseCounts() {
+	s := sinkPool.Get().(*sink)
+	s.n = 1
+	_ = s.Close()
+	sinkPool.Put(s)
+}
+
+// RecycleHeader drops the held slice through the pointer: clean.
+func RecycleHeader(p []byte) {
+	h := headerPool.Get().(*[]byte)
+	*h = nil
+	headerPool.Put(h)
+}
+
+// FreshValuesAreExempt: a value constructed here never held another use's
+// state, so putting it unreset is fine.
+func FreshValuesAreExempt() {
+	scratchPool.Put(new(scratch))
+	scratchPool.Put(&scratch{})
+}
+
+// notAPool has a Put method but is not sync.Pool; the check ignores it.
+type notAPool struct{}
+
+func (notAPool) Put(v any) {}
+
+func NotAPool(s *scratch) {
+	var np notAPool
+	np.Put(s)
+}

@@ -1,0 +1,10 @@
+//go:build race
+
+// Package raceflag exposes whether the race detector is compiled in.
+// Allocation-budget tests consult it: under -race, sync.Pool deliberately
+// drops a fraction of Puts and the instrumentation itself allocates, so
+// steady-state allocation counts are not meaningful there.
+package raceflag
+
+// Enabled reports whether the binary was built with -race.
+const Enabled = true

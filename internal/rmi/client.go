@@ -174,14 +174,23 @@ func (st *Stub) CallStats(ctx context.Context, method string, args ...any) (*cor
 	return st.callStats(ctx, method, args...)
 }
 
+// reqBufPool recycles request encode buffers across calls; a buffer is
+// reset and returned once invoke has finished (re)sending its bytes.
+var reqBufPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+
 // callStats performs the actual invocation. Arguments are encoded exactly
 // once; the retry layer (invoke) re-sends the identical request bytes, so
 // a retried call can never ship different state than the original.
 func (st *Stub) callStats(ctx context.Context, method string, args ...any) (*core.Response, error) {
 	c := st.c
 	marshalStart := time.Now()
-	var req bytes.Buffer
-	call := core.NewCall(&req, c.opts.Core)
+	req := reqBufPool.Get().(*bytes.Buffer)
+	defer func() {
+		req.Reset()
+		reqBufPool.Put(req)
+	}()
+	call := core.NewCall(req, c.opts.Core)
+	defer call.Release()
 	if err := call.EncodeString(st.object); err != nil {
 		return nil, err
 	}
@@ -213,6 +222,9 @@ func (st *Stub) callStats(ctx context.Context, method string, args ...any) (*cor
 	// error says so.
 	unmarshalStart := time.Now()
 	resp, err := call.ApplyResponse(bytes.NewReader(payload))
+	// ApplyResponse copies everything it keeps out of the reply bytes, so
+	// the pooled payload can go back regardless of the outcome.
+	transport.ReleasePayload(payload)
 	if err != nil {
 		return nil, &ResponseConsumedError{Method: method, Err: err}
 	}
@@ -270,7 +282,8 @@ func (c *Client) Release(ctx context.Context, ref *RemoteRef) error {
 	if err != nil {
 		return err
 	}
-	_, err = tc.Call(ctx, transport.MsgDGC, buf.Bytes())
+	p, err := tc.Call(ctx, transport.MsgDGC, buf.Bytes())
+	transport.ReleasePayload(p)
 	return err
 }
 
@@ -285,7 +298,8 @@ func (c *Client) Renew(ctx context.Context, ref *RemoteRef, lease time.Duration)
 	if err != nil {
 		return err
 	}
-	_, err = tc.Call(ctx, transport.MsgDGC, buf.Bytes())
+	p, err := tc.Call(ctx, transport.MsgDGC, buf.Bytes())
+	transport.ReleasePayload(p)
 	return err
 }
 
@@ -295,6 +309,7 @@ func (c *Client) Ping(ctx context.Context, addr string) error {
 	if err != nil {
 		return err
 	}
-	_, err = tc.Call(ctx, transport.MsgPing, []byte("ping"))
+	p, err := tc.Call(ctx, transport.MsgPing, []byte("ping"))
+	transport.ReleasePayload(p)
 	return err
 }

@@ -589,6 +589,9 @@ var errType = reflect.TypeOf((*error)(nil)).Elem()
 // client has already given up.
 func (s *Server) handleCall(ctx context.Context, payload []byte) (out []byte, err error) {
 	sc := core.AcceptCall(bytes.NewReader(payload), s.opts.Core)
+	// Decoded argument objects outlive the release (the pool only drops its
+	// references to them), so this is safe on every exit path.
+	defer sc.Release()
 	objKey, err := sc.DecodeString()
 	if err != nil {
 		return nil, fmt.Errorf("rmi: reading object key: %w", err)

@@ -30,6 +30,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"nrmi/internal/bufpool"
 )
 
 // Message types used across the NRMI stack. The transport treats them as
@@ -216,16 +218,47 @@ type frame struct {
 	payload  []byte
 }
 
+// Compression scratch pools: one DEFLATE writer and one output buffer per
+// concurrent compressing writeFrame, recycled across frames. Both are fully
+// reset before reuse.
+var (
+	flateWriterPool sync.Pool // *flate.Writer
+	cbufPool        sync.Pool // *bytes.Buffer
+)
+
+// ReleasePayload returns a payload obtained from Conn.Call (or handed to a
+// Handler) to the frame buffer pool. Ownership contract: the transport
+// allocates reply/request payloads from a shared pool; the layer that
+// finishes consuming a payload should release it so the steady state
+// allocates nothing per frame. Releasing is always optional (an unreleased
+// buffer is just garbage collected) and safe for any byte slice — buffers
+// that did not come from the pool are dropped. Never release a payload that
+// is still referenced, including one echoed back as a reply.
+func ReleasePayload(p []byte) { bufpool.Put(p) }
+
 // writeFrame assembles and writes a frame with a single Write. With
 // compress, payloads above the threshold are DEFLATE-compressed and
 // flagged; receivers transparently inflate, so compression is a pure
 // sender-side choice per connection.
 func writeFrame(w io.Writer, f frame, compress bool) error {
 	if compress && len(f.payload) > compressThreshold {
-		var cbuf bytes.Buffer
-		fw, err := flate.NewWriter(&cbuf, flate.BestSpeed)
-		if err != nil {
-			return err
+		cbuf, _ := cbufPool.Get().(*bytes.Buffer)
+		if cbuf == nil {
+			cbuf = new(bytes.Buffer)
+		}
+		defer func() {
+			cbuf.Reset()
+			cbufPool.Put(cbuf)
+		}()
+		fw, _ := flateWriterPool.Get().(*flate.Writer)
+		if fw == nil {
+			var err error
+			fw, err = flate.NewWriter(cbuf, flate.BestSpeed)
+			if err != nil {
+				return err
+			}
+		} else {
+			fw.Reset(cbuf)
 		}
 		if _, err := fw.Write(f.payload); err != nil {
 			return err
@@ -233,7 +266,10 @@ func writeFrame(w io.Writer, f frame, compress bool) error {
 		if err := fw.Close(); err != nil {
 			return err
 		}
+		flateWriterPool.Put(fw)
 		if cbuf.Len() < len(f.payload) {
+			// cbuf's bytes are only borrowed until the single Write below;
+			// the deferred Reset reclaims them afterwards.
 			f.payload = cbuf.Bytes()
 			f.flags |= flagDeflate
 		}
@@ -246,7 +282,7 @@ func writeFrame(w io.Writer, f frame, compress bool) error {
 		f.flags |= flagDeadline
 		ext = 8
 	}
-	buf := make([]byte, headerSize+ext+len(f.payload))
+	buf := bufpool.Get(headerSize + ext + len(f.payload))
 	binary.BigEndian.PutUint16(buf[0:2], frameMagic)
 	buf[2] = f.msgType
 	buf[3] = f.flags
@@ -256,11 +292,15 @@ func writeFrame(w io.Writer, f frame, compress bool) error {
 		binary.BigEndian.PutUint64(buf[headerSize:headerSize+8], uint64(f.deadline/time.Microsecond))
 	}
 	copy(buf[headerSize+ext:], f.payload)
+	// The single Write is synchronous: once it returns, the frame bytes have
+	// been handed off (or copied) by the conn, so the buffer can be recycled.
 	_, err := w.Write(buf)
+	bufpool.Put(buf)
 	return err
 }
 
-// readFrame reads one frame.
+// readFrame reads one frame. The returned payload comes from the shared
+// buffer pool; see ReleasePayload for the ownership contract.
 func readFrame(r io.Reader) (frame, error) {
 	var hdr [headerSize]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
@@ -281,8 +321,9 @@ func readFrame(r io.Reader) (frame, error) {
 		}
 		deadline = time.Duration(binary.BigEndian.Uint64(ext[:])) * time.Microsecond
 	}
-	payload := make([]byte, length)
+	payload := bufpool.Get(int(length))
 	if _, err := io.ReadFull(r, payload); err != nil {
+		bufpool.Put(payload)
 		return frame{}, err
 	}
 	flags := hdr[3] &^ flagDeadline
@@ -292,6 +333,7 @@ func readFrame(r io.Reader) (frame, error) {
 		if cerr := fr.Close(); err == nil {
 			err = cerr
 		}
+		bufpool.Put(payload) // the compressed form is fully consumed
 		if err != nil {
 			return frame{}, fmt.Errorf("%w: inflate: %v", ErrBadFrame, err)
 		}
@@ -354,8 +396,11 @@ func (c *Conn) readLoop() {
 		c.mu.Unlock()
 		if ok {
 			ch <- f
+		} else {
+			// Unmatched reply: the caller timed out and moved on, so nothing
+			// will ever read the payload — recycle it.
+			ReleasePayload(f.payload)
 		}
-		// Unmatched replies are dropped: the caller timed out and moved on.
 	}
 }
 
@@ -458,11 +503,19 @@ func (c *Conn) Call(ctx context.Context, msgType byte, payload []byte) ([]byte, 
 			return nil, &CallError{Phase: PhaseAwait, Sent: true, Err: err}
 		}
 		if f.flags&flagError != 0 {
+			// The error strings below copy out of the payload, so it can be
+			// recycled immediately.
 			if f.flags&flagStatus != 0 && len(f.payload) >= 1 {
-				return nil, &StatusError{Code: f.payload[0], Msg: string(f.payload[1:])}
+				serr := &StatusError{Code: f.payload[0], Msg: string(f.payload[1:])}
+				ReleasePayload(f.payload)
+				return nil, serr
 			}
-			return nil, &RemoteError{Msg: string(f.payload)}
+			rerr := &RemoteError{Msg: string(f.payload)}
+			ReleasePayload(f.payload)
+			return nil, rerr
 		}
+		// Ownership of the reply payload passes to the caller, who may hand
+		// it back via ReleasePayload once fully consumed.
 		return f.payload, nil
 	case <-ctx.Done():
 		c.mu.Lock()
@@ -485,6 +538,11 @@ func (c *Conn) Close() error {
 // carries the caller's propagated deadline when the request frame shipped
 // one, and is cancelled when the server closes; handlers doing real work
 // should observe it.
+//
+// The request payload is pool-owned: it stays valid through the handler
+// call and the reply write (a reply may alias it, e.g. an echo), after
+// which the server recycles it. Handlers must copy anything they need to
+// keep past their return.
 type Handler func(ctx context.Context, msgType byte, payload []byte) ([]byte, error)
 
 // Server accepts transport connections and dispatches frames to a Handler.
@@ -588,6 +646,10 @@ func (s *Server) serveConn(c net.Conn) {
 			writeMu.Lock()
 			_ = writeFrame(c, out, s.compress.Load())
 			writeMu.Unlock()
+			// The reply (which may alias the request payload, e.g. an echo)
+			// has been fully assembled and written; the request buffer is
+			// free.
+			ReleasePayload(f.payload)
 		}(f)
 	}
 }

@@ -25,6 +25,10 @@ type Decoder struct {
 	// engine and access are authoritative from the stream header.
 	engine Engine
 	access graph.AccessMode
+
+	// kernels routes struct decoding through the compiled field programs
+	// (kernel.go); decided at header time, when the engine is known.
+	kernels bool
 }
 
 // NewDecoder returns a Decoder reading from r. The engine and access mode
@@ -94,6 +98,7 @@ func (d *Decoder) header() error {
 	}
 	d.access = graph.AccessMode(acc)
 	d.r.setEngine(d.engine)
+	d.kernels = d.engine == EngineV2 && !d.opts.DisablePlanCache && !d.opts.DisableKernels
 	return nil
 }
 
@@ -211,6 +216,63 @@ func (d *Decoder) decodeValue(depth int) (reflect.Value, error) {
 	if err != nil {
 		return reflect.Value{}, err
 	}
+	return d.decodeTagged(tag, depth)
+}
+
+// decodeValueInto decodes the next value directly into dst when the wire
+// form allows it — a scalar payload or struct body of dst's exact type —
+// skipping the intermediate reflect.New staging value of the generic path.
+// Every other tag (nil, refs, pointers, interface-typed destinations, …)
+// falls back to decodeValue + setDecoded, so behavior and errors are
+// identical. Only the compiled-kernel paths call this; the generic and
+// ablation paths keep their original allocation profile.
+func (d *Decoder) decodeValueInto(dst reflect.Value, depth int) error {
+	if depth > maxDecodeDepth {
+		return graph.ErrDepthExceeded
+	}
+	tag, err := d.r.readByte()
+	if err != nil {
+		return err
+	}
+	switch tag {
+	case tagScalar:
+		st, err := d.decodeType()
+		if err != nil {
+			return err
+		}
+		if st == dst.Type() {
+			return d.scalarPayloadInto(dst)
+		}
+		fv, err := d.decodeScalarPayload(st)
+		if err != nil {
+			return err
+		}
+		return setDecoded(dst, fv)
+	case tagStruct:
+		st, err := d.decodeType()
+		if err != nil {
+			return err
+		}
+		if st.Kind() != reflect.Struct {
+			return fmt.Errorf("%w: tagStruct with non-struct type %s", ErrBadStream, st)
+		}
+		if st == dst.Type() {
+			return d.decodeStructInto(dst, depth)
+		}
+		fv, err := d.decodeStruct(st, depth)
+		if err != nil {
+			return err
+		}
+		return setDecoded(dst, fv)
+	}
+	fv, err := d.decodeTagged(tag, depth)
+	if err != nil {
+		return err
+	}
+	return setDecoded(dst, fv)
+}
+
+func (d *Decoder) decodeTagged(tag byte, depth int) (reflect.Value, error) {
 	switch tag {
 	case tagNil:
 		return reflect.Value{}, nil
@@ -232,6 +294,14 @@ func (d *Decoder) decodeValue(depth int) (reflect.Value, error) {
 		}
 		pv := reflect.New(elemT)
 		d.table = append(d.table, pv) // register before content: cycles resolve
+		if d.kernels {
+			// The pointee cell already exists; decode its content in place
+			// rather than staging it through a second allocation.
+			if err := d.decodeValueInto(pv.Elem(), depth+1); err != nil {
+				return reflect.Value{}, err
+			}
+			return pv, nil
+		}
 		elem, err := d.decodeValue(depth + 1)
 		if err != nil {
 			return reflect.Value{}, err
@@ -359,113 +429,150 @@ func (d *Decoder) decodeSliceElemsInto(sv reflect.Value) error {
 
 func (d *Decoder) decodeStruct(st reflect.Type, depth int) (reflect.Value, error) {
 	sv := reflect.New(st).Elem()
+	if err := d.decodeStructInto(sv, depth); err != nil {
+		return reflect.Value{}, err
+	}
+	return sv, nil
+}
+
+// decodeStructInto decodes a struct body into sv, which must be an
+// addressable value of the encoded type.
+func (d *Decoder) decodeStructInto(sv reflect.Value, depth int) error {
+	st := sv.Type()
 	if d.engine == EngineV1 {
 		// V1 ships a field count and names; resolve each by name.
 		n, err := d.r.readLen()
 		if err != nil {
-			return reflect.Value{}, err
+			return err
 		}
 		for i := 0; i < n; i++ {
 			name, err := d.r.readString()
 			if err != nil {
-				return reflect.Value{}, err
+				return err
 			}
 			p := planFor(st, d.access, false)
 			idx, ok := p.byName[name]
 			if !ok {
-				return reflect.Value{}, fmt.Errorf("%w: type %s has no field %q", ErrBadStream, st, name)
+				return fmt.Errorf("%w: type %s has no field %q", ErrBadStream, st, name)
 			}
 			fv, err := d.decodeValue(depth + 1)
 			if err != nil {
-				return reflect.Value{}, err
+				return err
 			}
 			dst, ok, err := graph.FieldForWrite(sv, idx, d.access)
 			if err != nil {
-				return reflect.Value{}, err
+				return err
 			}
 			if !ok {
-				return reflect.Value{}, fmt.Errorf("%w: field %s.%s not writable in %s mode",
+				return fmt.Errorf("%w: field %s.%s not writable in %s mode",
 					ErrBadStream, st, name, d.access)
 			}
 			if err := setDecoded(dst, fv); err != nil {
-				return reflect.Value{}, err
+				return err
 			}
 		}
-		return sv, nil
+		return nil
+	}
+	if d.kernels {
+		// Compiled field program: plan order with the fieldForWrite accessor
+		// decision (direct vs. laundered) resolved once per type. sv is
+		// always addressable here, so fields decode in place.
+		k := decKernelFor(st, d.access)
+		for i := range k.fields {
+			f := &k.fields[i]
+			dst := sv.Field(f.index)
+			if f.launder {
+				dst = graph.Launder(dst)
+			}
+			if err := d.decodeValueInto(dst, depth+1); err != nil {
+				return err
+			}
+		}
+		return nil
 	}
 	p := planFor(st, d.access, !d.opts.DisablePlanCache)
 	for _, pf := range p.fields {
 		fv, err := d.decodeValue(depth + 1)
 		if err != nil {
-			return reflect.Value{}, err
+			return err
 		}
 		dst, ok, err := graph.FieldForWrite(sv, pf.index, d.access)
 		if err != nil {
-			return reflect.Value{}, err
+			return err
 		}
 		if !ok {
 			continue
 		}
 		if err := setDecoded(dst, fv); err != nil {
-			return reflect.Value{}, err
+			return err
 		}
 	}
-	return sv, nil
+	return nil
 }
 
 func (d *Decoder) decodeScalarPayload(t reflect.Type) (reflect.Value, error) {
 	v := reflect.New(t).Elem()
+	if err := d.scalarPayloadInto(v); err != nil {
+		return reflect.Value{}, err
+	}
+	return v, nil
+}
+
+// scalarPayloadInto reads a scalar payload directly into v, which must be a
+// settable value of the encoded scalar type.
+func (d *Decoder) scalarPayloadInto(v reflect.Value) error {
+	t := v.Type()
 	switch t.Kind() {
 	case reflect.Bool:
 		b, err := d.r.readByte()
 		if err != nil {
-			return reflect.Value{}, err
+			return err
 		}
 		v.SetBool(b != 0)
 	case reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64:
 		i, err := d.r.readInt()
 		if err != nil {
-			return reflect.Value{}, err
+			return err
 		}
 		if v.OverflowInt(i) {
-			return reflect.Value{}, fmt.Errorf("%w: %d overflows %s", ErrBadStream, i, t)
+			return fmt.Errorf("%w: %d overflows %s", ErrBadStream, i, t)
 		}
 		v.SetInt(i)
 	case reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64:
 		u, err := d.r.readUint()
 		if err != nil {
-			return reflect.Value{}, err
+			return err
 		}
 		if v.OverflowUint(u) {
-			return reflect.Value{}, fmt.Errorf("%w: %d overflows %s", ErrBadStream, u, t)
+			return fmt.Errorf("%w: %d overflows %s", ErrBadStream, u, t)
 		}
 		v.SetUint(u)
 	case reflect.Float32, reflect.Float64:
 		f, err := d.r.readFloat()
 		if err != nil {
-			return reflect.Value{}, err
+			return err
 		}
 		v.SetFloat(f)
 	case reflect.Complex64, reflect.Complex128:
 		re, err := d.r.readFloat()
 		if err != nil {
-			return reflect.Value{}, err
+			return err
 		}
 		im, err := d.r.readFloat()
 		if err != nil {
-			return reflect.Value{}, err
+			return err
 		}
 		v.SetComplex(complex(re, im))
 	case reflect.String:
 		s, err := d.decodeInternedString()
 		if err != nil {
-			return reflect.Value{}, err
+			return err
 		}
 		v.SetString(s)
 	default:
-		return reflect.Value{}, fmt.Errorf("%w: scalar descriptor with kind %s", ErrBadStream, t.Kind())
+		return fmt.Errorf("%w: scalar descriptor with kind %s", ErrBadStream, t.Kind())
 	}
-	return v, nil
+	return nil
 }
 
 // decodeInternedString reads a string scalar, resolving V2 back-references

@@ -24,6 +24,9 @@ type Encoder struct {
 	typeTable  map[reflect.Type]int
 	strTable   map[string]int
 	headerDone bool
+	// kernels routes value encoding through the compiled per-type programs
+	// (kernel.go); derived from opts, cached here for the hot path.
+	kernels bool
 }
 
 // NewEncoder returns an Encoder writing to w.
@@ -35,6 +38,7 @@ func NewEncoder(w io.Writer, opts Options) *Encoder {
 		ids:       make(map[graph.Ident]int),
 		typeTable: make(map[reflect.Type]int),
 		strTable:  make(map[string]int),
+		kernels:   o.kernelsEnabled(),
 	}
 }
 
@@ -127,8 +131,7 @@ func (e *Encoder) SeedObject(ref reflect.Value) (int, error) {
 		return id, nil
 	}
 	id := len(e.objs)
-	e.ids[ident] = id
-	e.objs = append(e.objs, graph.StableRef(ref))
+	e.registerObj(ident, ref)
 	return id, nil
 }
 
@@ -155,6 +158,9 @@ func (e *Encoder) EncodeSeededContent(id int) error {
 		if err := e.w.writeByte(contentMap); err != nil {
 			return err
 		}
+		if e.kernels {
+			return encKernelFor(obj.Type(), e.opts.Access).encElems(e, obj, 0)
+		}
 		return e.encodeMapEntries(obj, 0)
 	case reflect.Slice:
 		if err := e.w.writeByte(contentSlice); err != nil {
@@ -162,6 +168,9 @@ func (e *Encoder) EncodeSeededContent(id int) error {
 		}
 		if err := e.w.writeUint(uint64(obj.Len())); err != nil {
 			return err
+		}
+		if e.kernels {
+			return encKernelFor(obj.Type(), e.opts.Access).encElems(e, obj, 0)
 		}
 		return e.encodeSliceElems(obj, 0)
 	default:
@@ -177,6 +186,12 @@ func (e *Encoder) encodeValue(v reflect.Value, depth int) error {
 	}
 	if !v.IsValid() {
 		return e.w.writeByte(tagNil)
+	}
+	if e.kernels {
+		// Compiled fast path: one cache load here, straight-line per-field
+		// ops below it, byte-identical output. The generic switch below is
+		// the V1 / ablation reference path.
+		return encKernelFor(v.Type(), e.opts.Access).enc(e, v, depth)
 	}
 	switch v.Kind() {
 	case reflect.Interface:
@@ -196,8 +211,7 @@ func (e *Encoder) encodeValue(v reflect.Value, depth int) error {
 			}
 			return e.w.writeUint(uint64(id))
 		}
-		e.ids[ident] = len(e.objs)
-		e.objs = append(e.objs, graph.StableRef(v))
+		e.registerObj(ident, v)
 		if err := e.w.writeByte(tagPtr); err != nil {
 			return err
 		}
@@ -217,8 +231,7 @@ func (e *Encoder) encodeValue(v reflect.Value, depth int) error {
 			}
 			return e.w.writeUint(uint64(id))
 		}
-		e.ids[ident] = len(e.objs)
-		e.objs = append(e.objs, graph.StableRef(v))
+		e.registerObj(ident, v)
 		if err := e.w.writeByte(tagMap); err != nil {
 			return err
 		}
@@ -243,8 +256,7 @@ func (e *Encoder) encodeValue(v reflect.Value, depth int) error {
 			}
 			return e.w.writeUint(uint64(id))
 		}
-		e.ids[ident] = len(e.objs)
-		e.objs = append(e.objs, graph.StableRef(v))
+		e.registerObj(ident, v)
 		if err := e.w.writeByte(tagSlice); err != nil {
 			return err
 		}

@@ -6,6 +6,8 @@ import (
 	"fmt"
 	"io"
 	"math"
+
+	"nrmi/internal/bufpool"
 )
 
 // writer is the byte-emission layer. Engine V1 uses an unbuffered,
@@ -26,6 +28,23 @@ func newWriter(w io.Writer, engine Engine) *writer {
 		wr.buf = bufio.NewWriterSize(w, 4096)
 	}
 	return wr
+}
+
+// reset re-arms a pooled writer onto a new destination, reusing the V2
+// bufio buffer.
+func (w *writer) reset(dst io.Writer, engine Engine) {
+	w.raw = dst
+	w.engine = engine
+	w.count = 0
+	if engine == EngineV2 {
+		if w.buf == nil {
+			w.buf = bufio.NewWriterSize(dst, 4096)
+		} else {
+			w.buf.Reset(dst)
+		}
+	} else {
+		w.buf = nil
+	}
 }
 
 // bytesWritten returns the number of payload bytes emitted so far,
@@ -96,7 +115,10 @@ func (w *writer) writeString(s string) error {
 		}
 		return nil
 	}
-	return w.write([]byte(s))
+	// V2 writes straight from the string, avoiding the []byte(s) copy.
+	n, err := w.buf.WriteString(s)
+	w.count += int64(n)
+	return err
 }
 
 func (w *writer) flush() error {
@@ -115,6 +137,10 @@ type reader struct {
 	scratch  [8]byte
 	count    int64
 	maxElems int
+	// spare parks the V2 bufio.Reader between pooled uses: reset cannot
+	// leave br set (the engine of the next stream is unknown until its
+	// header arrives), but the 4K buffer is worth keeping.
+	spare *bufio.Reader
 }
 
 func newReader(r io.Reader, maxElems int) *reader {
@@ -125,8 +151,25 @@ func newReader(r io.Reader, maxElems int) *reader {
 func (r *reader) setEngine(e Engine) {
 	r.engine = e
 	if e == EngineV2 {
-		r.br = bufio.NewReaderSize(r.raw, 4096)
+		if r.spare != nil {
+			r.spare.Reset(r.raw)
+			r.br, r.spare = r.spare, nil
+		} else {
+			r.br = bufio.NewReaderSize(r.raw, 4096)
+		}
 	}
+}
+
+// reset re-arms a pooled reader onto a new source. The engine reverts to
+// unknown until the next header is read.
+func (r *reader) reset(src io.Reader, maxElems int) {
+	if r.br != nil {
+		r.spare, r.br = r.br, nil
+	}
+	r.raw = src
+	r.engine = 0
+	r.count = 0
+	r.maxElems = maxElems
 }
 
 func (r *reader) bytesRead() int64 { return r.count }
@@ -156,9 +199,15 @@ func (r *reader) readByte() (byte, error) {
 	return r.scratch[0], err
 }
 
+// ReadByte implements io.ByteReader so the reader can be handed to
+// binary.ReadUvarint directly. The previous adapter (a method-value
+// closure) allocated once per varint read — the single hottest
+// allocation site in the V2 decode path.
+func (r *reader) ReadByte() (byte, error) { return r.readByte() }
+
 func (r *reader) readUint() (uint64, error) {
 	if r.engine == EngineV2 {
-		v, err := binary.ReadUvarint(byteReaderFunc(r.readByte))
+		v, err := binary.ReadUvarint(r)
 		return v, err
 	}
 	if err := r.readFull(r.scratch[:8]); err != nil {
@@ -169,7 +218,7 @@ func (r *reader) readUint() (uint64, error) {
 
 func (r *reader) readInt() (int64, error) {
 	if r.engine == EngineV2 {
-		return binary.ReadVarint(byteReaderFunc(r.readByte))
+		return binary.ReadVarint(r)
 	}
 	if err := r.readFull(r.scratch[:8]); err != nil {
 		return 0, err
@@ -204,14 +253,14 @@ func (r *reader) readString() (string, error) {
 	if n == 0 {
 		return "", nil
 	}
-	p := make([]byte, n)
-	if err := r.readFull(p); err != nil {
-		return "", err
+	// Stage through a pooled buffer; string(p) makes the only copy that
+	// escapes, so the scratch space is recycled immediately.
+	p := bufpool.Get(n)
+	err = r.readFull(p)
+	s := ""
+	if err == nil {
+		s = string(p)
 	}
-	return string(p), nil
+	bufpool.Put(p)
+	return s, err
 }
-
-// byteReaderFunc adapts a readByte method to io.ByteReader.
-type byteReaderFunc func() (byte, error)
-
-func (f byteReaderFunc) ReadByte() (byte, error) { return f() }

@@ -31,8 +31,21 @@ type planKey struct {
 }
 
 // planCache memoizes plans. Engine V2 consults it on every struct; engine
-// V1 deliberately bypasses it (see plonFor's caller) to model uncached
+// V1 deliberately bypasses it (see planFor's caller) to model uncached
 // reflective serialization.
+//
+// Interaction with the registry: this cache — and the kernel caches built
+// on top of it (wire kernel.go, graph kernel.go) — is keyed by (type,
+// access mode) only. Registry bindings do not participate: plans and
+// kernels describe a type's structure, which is immutable, while the
+// registry only resolves names, which it does at stream time through
+// Options.Registry. Registering a type after its plan or kernel was
+// compiled (including via RegisterStrict, whose closure validation runs
+// independently at registration time) therefore requires no invalidation,
+// and a type rejected by RegisterStrict still fails at encode/decode time
+// with the same graph-layer error whether or not a kernel was compiled
+// for it first — kernels defer forbidden-kind errors to run time exactly
+// like the generic paths.
 var planCache sync.Map // planKey -> *structPlan
 
 // planFor returns the field plan for t under mode, using the cache when

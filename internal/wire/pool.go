@@ -1,0 +1,105 @@
+package wire
+
+import (
+	"io"
+	"reflect"
+	"sync"
+)
+
+// Codec pooling. An Encoder carries three maps, an object table, and a 4K
+// output buffer; a Decoder carries three tables and a 4K input buffer. The
+// copy-restore protocol builds one of each per call on each endpoint, which
+// dominates the constant part of the per-call allocation profile. Acquire /
+// Release recycle fully reset codecs instead.
+//
+// Reset discipline differs per direction because ownership differs:
+//
+//   - The encoder's object table holds *detached* reference cells
+//     (graph.StableRef); the cells are zeroed (dropping the user's graph) but
+//     kept for reuse by appendObj.
+//   - The decoder's table holds the decoded objects themselves — they belong
+//     to the caller — so the entries are dropped outright, never written to.
+//
+// Callers must not retain anything obtained from a codec (Objects(),
+// decoded-but-unconsumed values referenced only by the table) after
+// releasing it. The core layer only releases codecs whose results have been
+// fully extracted or committed.
+
+var encoderPool = sync.Pool{New: func() any { return nil }}
+
+// AcquireEncoder returns a pooled Encoder writing to w, equivalent to
+// NewEncoder but allocation-free in the steady state. Release with
+// ReleaseEncoder when the message is flushed.
+func AcquireEncoder(w io.Writer, opts Options) *Encoder {
+	e, _ := encoderPool.Get().(*Encoder)
+	if e == nil {
+		return NewEncoder(w, opts)
+	}
+	o := opts.withDefaults()
+	e.w.reset(w, o.Engine)
+	e.opts = o
+	e.headerDone = false
+	e.kernels = o.kernelsEnabled()
+	return e
+}
+
+// ReleaseEncoder resets e and returns it to the pool. Passing nil is a
+// no-op.
+func ReleaseEncoder(e *Encoder) {
+	if e == nil {
+		return
+	}
+	clear(e.ids)
+	clear(e.typeTable)
+	clear(e.strTable)
+	// Zero the detached reference cells — dropping the user's objects — but
+	// keep them parked in the table's capacity for appendObj to reuse.
+	// Cells beyond len were already zeroed by an earlier release.
+	for _, cell := range e.objs {
+		if cell.IsValid() && cell.CanSet() {
+			cell.Set(reflect.Zero(cell.Type()))
+		}
+	}
+	e.objs = e.objs[:0]
+	e.w.reset(nil, e.opts.Engine) // do not retain the caller's writer
+	encoderPool.Put(e)
+}
+
+var decoderPool = sync.Pool{New: func() any { return nil }}
+
+// AcquireDecoder returns a pooled Decoder reading from r, equivalent to
+// NewDecoder but allocation-free in the steady state. Release with
+// ReleaseDecoder once every decoded value has been extracted.
+func AcquireDecoder(r io.Reader, opts Options) *Decoder {
+	d, _ := decoderPool.Get().(*Decoder)
+	if d == nil {
+		return NewDecoder(r, opts)
+	}
+	o := opts.withDefaults()
+	d.r.reset(r, o.MaxElems)
+	d.opts = o
+	d.headerDone = false
+	d.engine = 0
+	d.access = 0
+	d.kernels = false
+	d.numSeeded = 0
+	return d
+}
+
+// ReleaseDecoder resets d and returns it to the pool. Passing nil is a
+// no-op.
+func ReleaseDecoder(d *Decoder) {
+	if d == nil {
+		return
+	}
+	// The table entries are the decoded objects themselves (or seeded user
+	// objects): drop the references, keep the slice capacity.
+	clear(d.table)
+	d.table = d.table[:0]
+	clear(d.typeTable)
+	d.typeTable = d.typeTable[:0]
+	clear(d.strTable)
+	d.strTable = d.strTable[:0]
+	d.r.reset(nil, d.opts.MaxElems) // do not retain the caller's reader
+	decoderPool.Put(d)
+}

@@ -94,8 +94,22 @@ type Options struct {
 	// reflection on every object, modeling the paper's "portable" NRMI
 	// implementation (plain reflection) against the "optimized" one
 	// (aggressively cached reflection metadata, Section 5.3.1). Engine V1
-	// never caches regardless of this flag.
+	// never caches regardless of this flag. Disabling the plan cache also
+	// disables the compiled kernels, which are built on top of it.
 	DisablePlanCache bool
+
+	// DisableKernels turns off the compiled per-type encode/decode kernels
+	// (kernel.go) and the pooled codec state, taking the generic reflective
+	// paths instead. The wire format is identical either way; this is the
+	// ablation knob separating "cached reflection metadata" from "compiled
+	// per-type programs" in benchmarks. Kernels are only ever active on
+	// engine V2 with the plan cache enabled.
+	DisableKernels bool
+}
+
+// kernelsEnabled reports whether o selects the compiled-kernel fast paths.
+func (o Options) kernelsEnabled() bool {
+	return o.Engine == EngineV2 && !o.DisablePlanCache && !o.DisableKernels
 }
 
 const defaultMaxElems = 1 << 26
