@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race lint chaos soak cover bench bench-smoke tables verify-tables loc examples fuzz clean
+.PHONY: all build test race lint chaos soak cover bench bench-smoke obs-smoke phases tables verify-tables loc examples fuzz clean
 
 all: build test
 
@@ -10,7 +10,7 @@ build:
 	$(GO) build ./...
 	$(GO) vet ./...
 
-test: lint soak bench-smoke
+test: lint soak bench-smoke obs-smoke
 	$(GO) vet ./...
 	$(GO) test -race ./...
 
@@ -47,6 +47,18 @@ bench:
 # at least 30% of allocs/op, and refreshes the BENCH_4.json snapshot.
 bench-smoke:
 	$(GO) run ./cmd/nrmi-bench -smoke BENCH_4.json
+
+# Observability smoke gate: run a scenario-III workload with a phase
+# observer on both endpoints, scrape and schema-check the debug endpoints,
+# and fail if the disabled (nil-recorder) instrumentation path costs more
+# than 2% of a call.
+obs-smoke:
+	$(GO) run ./cmd/nrmi-bench -obs-smoke
+
+# Per-phase cost breakdown of the copy-restore pipeline (scenario III,
+# kernels on/off), the table EXPERIMENTS.md quotes.
+phases:
+	$(GO) run ./cmd/nrmi-bench -phases
 
 # Regenerate the paper's Tables 1-7 over the simulated testbed.
 tables:

@@ -37,12 +37,48 @@ func main() {
 		table       = flag.String("table", "", "only print tables whose id contains this substring (e.g. 5); all tables still run")
 		smoke       = flag.String("smoke", "", "run the kernel-ablation smoke benchmark, write the JSON snapshot to this path, and exit")
 		smokeMin    = flag.Float64("smoke-min-reduction", 30, "minimum allocs/op reduction (percent, kernels on vs. off) the smoke run must show; 0 disables the gate")
+		phases      = flag.Bool("phases", false, "run the per-phase breakdown (scenario III, kernels on/off) and exit")
+		obsSmoke    = flag.Bool("obs-smoke", false, "run the observability smoke gate (debug endpoints + nop-overhead check) and exit")
+		obsMax      = flag.Float64("obs-max-overhead", 2, "maximum disabled-path instrumentation overhead (percent of a scenario-III call) the obs smoke tolerates")
 	)
 	flag.Parse()
 
 	if *smoke != "" {
 		if err := runSmoke(*smoke, *smokeMin); err != nil {
 			log.Fatalf("nrmi-bench: %v", err)
+		}
+		return
+	}
+
+	if *obsSmoke {
+		if err := runObsSmoke(*obsMax); err != nil {
+			log.Fatalf("nrmi-bench: %v", err)
+		}
+		return
+	}
+
+	if *phases {
+		sizes, err := parseSizes(*sizesFlag)
+		if err != nil {
+			log.Fatalf("nrmi-bench: %v", err)
+		}
+		pcfg := bench.PhasesConfig{Sizes: sizes, Iterations: *iters, Seed: *seed}
+		if !*quiet {
+			pcfg.Log = func(line string) { fmt.Fprintln(os.Stderr, line) }
+		}
+		// The default 5 iterations of the table runs are too thin for
+		// per-phase means; let the phases default (20) apply instead.
+		if pcfg.Iterations == 5 {
+			pcfg.Iterations = 0
+		}
+		rep, err := bench.RunPhases(pcfg)
+		if err != nil {
+			log.Fatalf("nrmi-bench: %v", err)
+		}
+		if *md {
+			fmt.Print(rep.Markdown())
+		} else {
+			fmt.Print(rep.Format())
 		}
 		return
 	}

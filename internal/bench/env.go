@@ -5,6 +5,7 @@ import (
 
 	"nrmi/internal/core"
 	"nrmi/internal/netsim"
+	"nrmi/internal/obs"
 	"nrmi/internal/rmi"
 	"nrmi/internal/wire"
 )
@@ -40,6 +41,10 @@ type EnvConfig struct {
 	Compress bool
 	// ServerHost and ClientHost model the two machines' CPU speeds.
 	ServerHost, ClientHost netsim.Host
+	// Obs, when set, receives per-call phase measurements from both
+	// machines: client and server record disjoint phases under the same
+	// (service, method) key, so one recorder sees the whole pipeline.
+	Obs obs.Recorder
 }
 
 // Env is a fully assembled two-machine benchmark world.
@@ -85,6 +90,7 @@ func NewEnv(cfg EnvConfig) (*Env, error) {
 		Core:     coreOpts,
 		Compress: cfg.Compress,
 		Host:     cfg.ServerHost,
+		Obs:      cfg.Obs,
 		WrapRef: func(ref *rmi.RemoteRef, _ *rmi.Client) (any, error) {
 			return serverEnv.Wrap(ref)
 		},
@@ -93,6 +99,7 @@ func NewEnv(cfg EnvConfig) (*Env, error) {
 		Core:     coreOpts,
 		Compress: cfg.Compress,
 		Host:     cfg.ClientHost,
+		Obs:      cfg.Obs,
 		WrapRef: func(ref *rmi.RemoteRef, _ *rmi.Client) (any, error) {
 			return clientEnv.Wrap(ref)
 		},

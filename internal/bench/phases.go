@@ -1,0 +1,277 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+
+	"nrmi/internal/netsim"
+	"nrmi/internal/obs"
+	"nrmi/internal/wire"
+)
+
+// PhasesConfig drives the per-phase breakdown run (nrmi-bench -phases).
+type PhasesConfig struct {
+	// Sizes are the tree sizes (default 16, 64, 256, 1024).
+	Sizes []int
+	// Iterations is how many calls feed each cell's histograms (default 20).
+	Iterations int
+	// Seed makes the run reproducible (default 1).
+	Seed int64
+	// Scenario selects the workload; the zero value means ScenarioIII,
+	// the hardest (aliases plus arbitrary structural changes).
+	Scenario Scenario
+	// Log, when set, receives progress lines.
+	Log func(string)
+}
+
+func (c PhasesConfig) withDefaults() PhasesConfig {
+	if len(c.Sizes) == 0 {
+		c.Sizes = []int{16, 64, 256, 1024}
+	}
+	if c.Iterations == 0 {
+		c.Iterations = 20
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.Scenario == ScenarioI {
+		c.Scenario = ScenarioIII
+	}
+	if c.Log == nil {
+		c.Log = func(string) {}
+	}
+	return c
+}
+
+// phaseOrder lists the phases in pipeline order: the client's request side,
+// the server pipeline, then the client's reply side. This is the row order
+// of the report.
+var phaseOrder = []obs.Phase{
+	obs.PhaseEncode,
+	obs.PhaseTransport,
+	obs.PhaseSrvDecode,
+	obs.PhaseSrvPrepare,
+	obs.PhaseSrvSnapshot,
+	obs.PhaseSrvExecute,
+	obs.PhaseSrvEncode,
+	obs.PhaseMapWalk,
+	obs.PhaseDecodeReply,
+	obs.PhaseRestoreCommit,
+}
+
+// clientPhases are the phases whose means sum to (roughly) the whole call
+// as the client experiences it; PhaseTransport already contains the server
+// pipeline and the network.
+var clientPhases = []obs.Phase{
+	obs.PhaseEncode, obs.PhaseMapWalk, obs.PhaseTransport,
+	obs.PhaseDecodeReply, obs.PhaseRestoreCommit,
+}
+
+// PhaseCell is one (variant, size) cell of the per-phase report: the mean
+// nanoseconds each pipeline phase spent per call.
+type PhaseCell struct {
+	Variant string `json:"variant"`
+	Size    int    `json:"size"`
+	// PhaseNs maps phase name to mean nanoseconds per call; phases that
+	// never ran (srv-snapshot without delta) are absent.
+	PhaseNs map[string]float64 `json:"phase_ns"`
+	// CallNs is the sum of the client-side phase means: the per-call cost
+	// as the caller experiences it.
+	CallNs float64 `json:"call_ns"`
+}
+
+// PhasesReport is the full output of RunPhases: scenario-III per-phase
+// breakdowns for the kernels and nokernels variants, side by side.
+type PhasesReport struct {
+	Scenario string      `json:"scenario"`
+	Sizes    []int       `json:"sizes"`
+	Cells    []PhaseCell `json:"cells"`
+}
+
+// Cell returns the report cell for one variant and size, or nil.
+func (r *PhasesReport) Cell(variant string, size int) *PhaseCell {
+	for i := range r.Cells {
+		if r.Cells[i].Variant == variant && r.Cells[i].Size == size {
+			return &r.Cells[i]
+		}
+	}
+	return nil
+}
+
+// phaseVariants is the kernel ablation axis the report splits on.
+var phaseVariants = []struct {
+	name      string
+	nokernels bool
+}{{"kernels", false}, {"nokernels", true}}
+
+// RunPhases measures the per-phase cost breakdown of the copy-restore
+// pipeline: the configured scenario over the loopback profile, with the
+// compiled kernels on and off, every call recorded by a phase observer on
+// both endpoints. The kernel ablation thereby reports per-phase deltas —
+// which pipeline stages the compiled kernels actually accelerate — instead
+// of one opaque per-call number.
+func RunPhases(cfg PhasesConfig) (*PhasesReport, error) {
+	cfg = cfg.withDefaults()
+	rep := &PhasesReport{Scenario: cfg.Scenario.String(), Sizes: cfg.Sizes}
+	for _, v := range phaseVariants {
+		for _, size := range cfg.Sizes {
+			o := obs.New(obs.Config{Tag: fmt.Sprintf("%s-%d", v.name, size)})
+			e, err := NewEnv(EnvConfig{
+				Profile:        netsim.Loopback(),
+				Engine:         wire.EngineV2,
+				DisableKernels: v.nokernels,
+				Obs:            o,
+			})
+			if err != nil {
+				return nil, fmt.Errorf("bench: phases env %s/%d: %w", v.name, size, err)
+			}
+			spec := RunSpec{
+				Scenario:   cfg.Scenario,
+				Size:       size,
+				Iterations: cfg.Iterations,
+				Seed:       cfg.Seed,
+				Verify:     true,
+			}
+			if _, err := RunNRMI(e, spec); err != nil {
+				_ = e.Close()
+				return nil, fmt.Errorf("bench: phases run %s/%d: %w", v.name, size, err)
+			}
+			snap := o.Snapshot()
+			_ = e.Close()
+			ms := snap.Method("nrmi", "Apply")
+			if ms == nil {
+				return nil, fmt.Errorf("bench: phases run %s/%d recorded no nrmi/Apply calls", v.name, size)
+			}
+			cell := PhaseCell{Variant: v.name, Size: size, PhaseNs: make(map[string]float64)}
+			for _, p := range phaseOrder {
+				if m := ms.PhaseMeanNs(p.String()); m > 0 {
+					cell.PhaseNs[p.String()] = m
+				}
+			}
+			for _, p := range clientPhases {
+				cell.CallNs += cell.PhaseNs[p.String()]
+			}
+			rep.Cells = append(rep.Cells, cell)
+			cfg.Log(fmt.Sprintf("phases: %s size %d done", v.name, size))
+		}
+	}
+	return rep, nil
+}
+
+// Format renders the report as aligned text: one block per variant with
+// phases as rows and sizes as columns (mean µs/call), then a delta block
+// with the percent of each phase's nokernels cost that the kernels remove.
+func (r *PhasesReport) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Per-phase breakdown — scenario %s, loopback, mean µs/call\n", r.Scenario)
+	for _, v := range phaseVariants {
+		v := v
+		fmt.Fprintf(&b, "\n[%s]\n", v.name)
+		r.block(&b, func(phase string, size int) (float64, bool) {
+			c := r.Cell(v.name, size)
+			if c == nil {
+				return 0, false
+			}
+			ns, ok := c.PhaseNs[phase]
+			return ns / 1e3, ok
+		}, func(size int) (float64, bool) {
+			c := r.Cell(v.name, size)
+			if c == nil {
+				return 0, false
+			}
+			return c.CallNs / 1e3, true
+		})
+	}
+	fmt.Fprintf(&b, "\n[kernels vs nokernels, %% of phase time removed]\n")
+	r.block(&b, func(phase string, size int) (float64, bool) {
+		on, off := r.Cell("kernels", size), r.Cell("nokernels", size)
+		if on == nil || off == nil || off.PhaseNs[phase] == 0 {
+			return 0, false
+		}
+		return 100 * (1 - on.PhaseNs[phase]/off.PhaseNs[phase]), true
+	}, func(size int) (float64, bool) {
+		on, off := r.Cell("kernels", size), r.Cell("nokernels", size)
+		if on == nil || off == nil || off.CallNs == 0 {
+			return 0, false
+		}
+		return 100 * (1 - on.CallNs/off.CallNs), true
+	})
+	return b.String()
+}
+
+// block writes one phase × size grid. value returns a phase cell and
+// whether the phase ran at that size; callValue returns the whole-call
+// summary row.
+func (r *PhasesReport) block(b *strings.Builder, value func(phase string, size int) (float64, bool), callValue func(size int) (float64, bool)) {
+	fmt.Fprintf(b, "%-16s", "phase")
+	for _, size := range r.Sizes {
+		fmt.Fprintf(b, "%10d", size)
+	}
+	b.WriteString("\n")
+	writeRow := func(name string, cell func(size int) (float64, bool)) {
+		fmt.Fprintf(b, "%-16s", name)
+		for _, size := range r.Sizes {
+			if v, ok := cell(size); ok {
+				fmt.Fprintf(b, "%10.1f", v)
+			} else {
+				fmt.Fprintf(b, "%10s", "-")
+			}
+		}
+		b.WriteString("\n")
+	}
+	for _, p := range phaseOrder {
+		p := p
+		writeRow(p.String(), func(size int) (float64, bool) { return value(p.String(), size) })
+	}
+	writeRow("call (client)", callValue)
+}
+
+// Markdown renders the absolute blocks as GitHub tables (for
+// EXPERIMENTS.md).
+func (r *PhasesReport) Markdown() string {
+	var b strings.Builder
+	for _, v := range phaseVariants {
+		fmt.Fprintf(&b, "\n**Scenario %s per-phase breakdown, %s (mean µs/call)**\n\n", r.Scenario, v.name)
+		b.WriteString("| phase |")
+		for _, size := range r.Sizes {
+			fmt.Fprintf(&b, " %d |", size)
+		}
+		b.WriteString("\n|---|")
+		for range r.Sizes {
+			b.WriteString("---:|")
+		}
+		b.WriteString("\n")
+		for _, p := range phaseOrder {
+			ran := false
+			for _, size := range r.Sizes {
+				if c := r.Cell(v.name, size); c != nil && c.PhaseNs[p.String()] > 0 {
+					ran = true
+				}
+			}
+			if !ran {
+				continue
+			}
+			fmt.Fprintf(&b, "| %s |", p.String())
+			for _, size := range r.Sizes {
+				c := r.Cell(v.name, size)
+				if c == nil || c.PhaseNs[p.String()] == 0 {
+					b.WriteString(" - |")
+					continue
+				}
+				fmt.Fprintf(&b, " %.1f |", c.PhaseNs[p.String()]/1e3)
+			}
+			b.WriteString("\n")
+		}
+		b.WriteString("| **call (client)** |")
+		for _, size := range r.Sizes {
+			c := r.Cell(v.name, size)
+			if c == nil {
+				b.WriteString(" - |")
+				continue
+			}
+			fmt.Fprintf(&b, " **%.1f** |", c.CallNs/1e3)
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}

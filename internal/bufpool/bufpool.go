@@ -56,9 +56,16 @@ func Get(n int) []byte {
 		buf := (*p)[:n]
 		*p = nil
 		headers.Put(p)
+		if debugEnabled.Load() {
+			debugTrackGet(buf)
+		}
 		return buf
 	}
-	return make([]byte, n, 1<<(minBits+ci))
+	buf := make([]byte, n, 1<<(minBits+ci))
+	if debugEnabled.Load() {
+		debugTrackGet(buf)
+	}
+	return buf
 }
 
 // Put recycles a buffer obtained from Get. Buffers whose capacity is not an
@@ -71,7 +78,13 @@ func Put(p []byte) {
 	}
 	ci := classFor(c)
 	if ci < 0 || c != 1<<(minBits+ci) {
+		if debugEnabled.Load() {
+			debugTrackForeign(p)
+		}
 		return
+	}
+	if debugEnabled.Load() {
+		debugTrackPut(p)
 	}
 	h := headers.Get().(*[]byte)
 	*h = p[:c]

@@ -7,6 +7,7 @@ import (
 	"sort"
 
 	"nrmi/internal/graph"
+	"nrmi/internal/obs"
 	"nrmi/internal/wire"
 )
 
@@ -18,6 +19,11 @@ type Call struct {
 	opts Options
 	enc  *wire.Encoder
 
+	// oc is the per-call observability collector (nil when disabled); the
+	// client-side core phases — linear-map walk, reply decode, restore
+	// commit — record their spans on it.
+	oc *obs.Call
+
 	// restorableRoots records the root values of restorable parameters, in
 	// encode order, for diagnostics and tests.
 	restorableRoots []reflect.Value
@@ -26,6 +32,11 @@ type Call struct {
 	// pooled records that enc came from the codec pool and must go back.
 	pooled bool
 }
+
+// SetObs attaches the per-call observability collector. The Call only
+// borrows it: the rmi layer owns the collector's lifecycle and must keep
+// it alive until after ApplyResponse.
+func (c *Call) SetObs(oc *obs.Call) { c.oc = oc }
 
 // NewCall starts encoding a request onto w.
 func NewCall(w io.Writer, opts Options) *Call {
@@ -50,6 +61,7 @@ func (c *Call) Release() {
 		wire.ReleaseEncoder(c.enc)
 	}
 	c.enc = nil
+	c.oc = nil
 	c.restorableRoots = nil
 }
 
@@ -165,10 +177,18 @@ func (c *Call) restorableSet() ([]int, error) {
 	return ids, nil
 }
 
+// pendingRestore pairs a seeded original with the decoded temporary whose
+// contents will overwrite it during the commit phase.
+type pendingRestore struct {
+	orig reflect.Value
+	tmp  reflect.Value
+}
+
 // ApplyResponse reads the server's restore section and return values from r
 // and performs the in-place restore: afterwards every client-side alias of
 // every pre-call object observes the server's mutations. It implements
-// steps 4–6 of the paper's algorithm in a single pass.
+// steps 4–6 of the paper's algorithm in a single pass, recording the
+// map-walk, decode, and commit phases on the attached collector.
 func (c *Call) ApplyResponse(r io.Reader) (*Response, error) {
 	kernels := c.opts.kernelsEnabled()
 	var dec *wire.Decoder
@@ -180,93 +200,28 @@ func (c *Call) ApplyResponse(r io.Reader) (*Response, error) {
 	} else {
 		dec = wire.NewDecoder(r, c.opts.wireOptions())
 	}
-	// Seed the response decoder with the restorable subset of the request
-	// object table, in ascending stream-ID order: references to those IDs
-	// must resolve to the original client objects, while everything else
-	// (including returned by-copy argument data) materializes fresh.
+
+	sp := c.oc.Start(obs.PhaseMapWalk)
 	set, err := c.restorableSet()
+	sp.EndN(0, int64(len(set)))
 	if err != nil {
 		return nil, err
 	}
-	seeded := make([]reflect.Value, 0, len(set))
-	for _, id := range set {
-		obj := c.enc.Objects()[id]
-		if _, err := dec.SeedObject(obj); err != nil {
-			return nil, err
-		}
-		seeded = append(seeded, obj)
-	}
-	numSeeded := dec.NumSeeded()
 
-	n, err := dec.DecodeUint()
+	sp = c.oc.Start(obs.PhaseDecodeReply)
+	updates, rets, numSeeded, err := c.decodeReply(dec, set)
+	sp.EndN(dec.BytesRead(), int64(len(updates)))
 	if err != nil {
-		return nil, fmt.Errorf("core: reading restore count: %w", err)
-	}
-	if n > uint64(numSeeded) {
-		return nil, fmt.Errorf("%w: %d content records for %d objects", ErrBadResponse, n, numSeeded)
-	}
-	type pending struct {
-		orig reflect.Value
-		tmp  reflect.Value
-	}
-	updates := make([]pending, 0, n)
-	for i := uint64(0); i < n; i++ {
-		id, err := dec.DecodeUint()
-		if err != nil {
-			return nil, fmt.Errorf("core: reading restore id: %w", err)
-		}
-		if id >= uint64(numSeeded) {
-			return nil, fmt.Errorf("%w: content record for unknown object %d", ErrBadResponse, id)
-		}
-		tmp, err := dec.DecodeSeededContent(int(id))
-		if err != nil {
-			return nil, fmt.Errorf("core: decoding content for object %d: %w", id, err)
-		}
-		updates = append(updates, pending{orig: seeded[id], tmp: tmp})
+		return nil, err
 	}
 
-	// Return values decode against the same table: aliasing between
-	// returned data and restored parameters is preserved.
-	nret, err := dec.DecodeUint()
+	sp = c.oc.Start(obs.PhaseRestoreCommit)
+	err = commitUpdates(kernels, updates)
+	sp.EndN(0, int64(len(updates)))
 	if err != nil {
-		return nil, fmt.Errorf("core: reading return count: %w", err)
-	}
-	rets := make([]any, 0, nret)
-	for i := uint64(0); i < nret; i++ {
-		v, err := dec.Decode()
-		if err != nil {
-			return nil, fmt.Errorf("core: decoding return value %d: %w", i, err)
-		}
-		rets = append(rets, v)
+		return nil, err
 	}
 
-	// Step 5: overwrite each original, in place. Every temporary's
-	// references already point at originals (old) or at freshly
-	// materialized objects (new), so a shallow overwrite completes the
-	// restore. The commit is two-phase — validate every (orig, tmp) pair
-	// before the first overwrite — so a malformed reply fails with the
-	// caller's graph untouched rather than half-restored.
-	if kernels {
-		// Compiled restore programs: kind dispatch resolved once per type,
-		// map commits via Clear + pooled iterator.
-		for _, u := range updates {
-			if err := restoreKernelFor(u.orig.Type()).validate(u.orig, u.tmp); err != nil {
-				return nil, err
-			}
-		}
-		for _, u := range updates {
-			restoreKernelFor(u.orig.Type()).commit(u.orig, u.tmp)
-		}
-	} else {
-		for _, u := range updates {
-			if err := validateRestore(u.orig, u.tmp); err != nil {
-				return nil, err
-			}
-		}
-		for _, u := range updates {
-			commitRestore(u.orig, u.tmp)
-		}
-	}
 	resp := &Response{
 		Returns:       rets,
 		Restored:      len(updates),
@@ -277,6 +232,94 @@ func (c *Call) ApplyResponse(r io.Reader) (*Response, error) {
 		wire.ReleaseDecoder(dec)
 	}
 	return resp, nil
+}
+
+// decodeReply seeds the response decoder and consumes the restore section
+// and return values, leaving the commit to the caller.
+func (c *Call) decodeReply(dec *wire.Decoder, set []int) (updates []pendingRestore, rets []any, numSeeded int, err error) {
+	// Seed the response decoder with the restorable subset of the request
+	// object table, in ascending stream-ID order: references to those IDs
+	// must resolve to the original client objects, while everything else
+	// (including returned by-copy argument data) materializes fresh.
+	seeded := make([]reflect.Value, 0, len(set))
+	for _, id := range set {
+		obj := c.enc.Objects()[id]
+		if _, err := dec.SeedObject(obj); err != nil {
+			return nil, nil, 0, err
+		}
+		seeded = append(seeded, obj)
+	}
+	numSeeded = dec.NumSeeded()
+
+	n, err := dec.DecodeUint()
+	if err != nil {
+		return nil, nil, numSeeded, fmt.Errorf("core: reading restore count: %w", err)
+	}
+	if n > uint64(numSeeded) {
+		return nil, nil, numSeeded, fmt.Errorf("%w: %d content records for %d objects", ErrBadResponse, n, numSeeded)
+	}
+	updates = make([]pendingRestore, 0, n)
+	for i := uint64(0); i < n; i++ {
+		id, err := dec.DecodeUint()
+		if err != nil {
+			return nil, nil, numSeeded, fmt.Errorf("core: reading restore id: %w", err)
+		}
+		if id >= uint64(numSeeded) {
+			return nil, nil, numSeeded, fmt.Errorf("%w: content record for unknown object %d", ErrBadResponse, id)
+		}
+		tmp, err := dec.DecodeSeededContent(int(id))
+		if err != nil {
+			return nil, nil, numSeeded, fmt.Errorf("core: decoding content for object %d: %w", id, err)
+		}
+		updates = append(updates, pendingRestore{orig: seeded[id], tmp: tmp})
+	}
+
+	// Return values decode against the same table: aliasing between
+	// returned data and restored parameters is preserved.
+	nret, err := dec.DecodeUint()
+	if err != nil {
+		return nil, nil, numSeeded, fmt.Errorf("core: reading return count: %w", err)
+	}
+	rets = make([]any, 0, nret)
+	for i := uint64(0); i < nret; i++ {
+		v, err := dec.Decode()
+		if err != nil {
+			return nil, nil, numSeeded, fmt.Errorf("core: decoding return value %d: %w", i, err)
+		}
+		rets = append(rets, v)
+	}
+	return updates, rets, numSeeded, nil
+}
+
+// commitUpdates performs step 5: overwrite each original, in place. Every
+// temporary's references already point at originals (old) or at freshly
+// materialized objects (new), so a shallow overwrite completes the restore.
+// The commit is two-phase — validate every (orig, tmp) pair before the
+// first overwrite — so a malformed reply fails with the caller's graph
+// untouched rather than half-restored.
+func commitUpdates(kernels bool, updates []pendingRestore) error {
+	if kernels {
+		// Compiled restore programs: kind dispatch resolved once per type,
+		// map commits via Clear + pooled iterator.
+		for _, u := range updates {
+			if err := restoreKernelFor(u.orig.Type()).validate(u.orig, u.tmp); err != nil {
+				return err
+			}
+		}
+		for _, u := range updates {
+			restoreKernelFor(u.orig.Type()).commit(u.orig, u.tmp)
+		}
+		return nil
+	}
+	for _, u := range updates {
+		if err := validateRestore(u.orig, u.tmp); err != nil {
+			return err
+		}
+	}
+	for _, u := range updates {
+		commitRestore(u.orig, u.tmp)
+	}
+	return nil
 }
 
 // validateRestore checks that tmp's contents can be committed into orig:

@@ -125,6 +125,11 @@ func (o Options) kernelsEnabled() bool {
 	return o.Engine != wire.EngineV1 && !o.DisablePlanCache && !o.DisableKernels
 }
 
+// KernelsEnabled is the exported view of kernelsEnabled, for kernel-aware
+// instrumentation: observability layers stamp it onto every recorded call
+// so the DisableKernels ablation reports per-phase deltas.
+func (o Options) KernelsEnabled() bool { return o.kernelsEnabled() }
+
 // Errors reported by the copy-restore protocol.
 var (
 	// ErrNotPrepared is reported when server response encoding is attempted

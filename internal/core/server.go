@@ -7,6 +7,7 @@ import (
 	"sort"
 
 	"nrmi/internal/graph"
+	"nrmi/internal/obs"
 	"nrmi/internal/wire"
 )
 
@@ -16,6 +17,11 @@ import (
 type ServerCall struct {
 	opts Options
 	dec  *wire.Decoder
+
+	// oc is the per-call observability collector (nil when disabled); the
+	// server-side core phases — prepare walk and delta snapshot — record
+	// their spans on it.
+	oc *obs.Call
 
 	restorableRoots []reflect.Value
 
@@ -58,6 +64,7 @@ func (s *ServerCall) Release() {
 		wire.ReleaseDecoder(s.dec)
 	}
 	s.dec = nil
+	s.oc = nil
 	s.restorableRoots = nil
 	s.restoreIDs = nil
 	s.identToID = nil
@@ -98,15 +105,29 @@ func (s *ServerCall) Engine() wire.Engine { return s.dec.Engine() }
 // BytesReceived returns the size of the request consumed so far.
 func (s *ServerCall) BytesReceived() int64 { return s.dec.BytesRead() }
 
+// SetObs attaches the per-call observability collector. The ServerCall
+// only borrows it: the rmi layer owns the collector's lifecycle and must
+// keep it alive until after EncodeResponse.
+func (s *ServerCall) SetObs(oc *obs.Call) { s.oc = oc }
+
 // Prepare fixes the pre-call object set: every object reachable from the
 // restorable parameters right now, before the method body runs (paper,
 // Section 3: the linear map of "old" objects). It must be called after all
 // arguments are decoded and before the method executes. With Options.Delta
 // it additionally snapshots the restorable subgraph for change detection.
+// The srv-prepare span covers the whole step; the srv-snapshot span nested
+// inside it isolates the delta deep copy.
 func (s *ServerCall) Prepare() error {
 	if s.prepared {
 		return nil
 	}
+	sp := s.oc.Start(obs.PhaseSrvPrepare)
+	err := s.prepare()
+	sp.EndN(0, int64(len(s.restoreIDs)))
+	return err
+}
+
+func (s *ServerCall) prepare() error {
 	if s.opts.ShipLinearMap {
 		// The naive protocol ships the linear map after the arguments;
 		// consume and cross-check it against the table we rebuilt for
@@ -138,15 +159,27 @@ func (s *ServerCall) Prepare() error {
 	}
 	s.restoreIDs = set
 	if s.opts.Delta {
-		s.snapshot = graph.NewCopier(access)
-		s.snapshot.NoKernels = !s.opts.kernelsEnabled()
-		for _, root := range s.restorableRoots {
-			if _, err := s.snapshot.CopyValue(root); err != nil {
-				return fmt.Errorf("core: delta snapshot: %w", err)
-			}
+		sp := s.oc.Start(obs.PhaseSrvSnapshot)
+		err := s.takeSnapshot(access)
+		sp.EndN(0, int64(s.snapshot.NumCopied()))
+		if err != nil {
+			return err
 		}
 	}
 	s.prepared = true
+	return nil
+}
+
+// takeSnapshot deep-copies the restorable subgraph for delta change
+// detection.
+func (s *ServerCall) takeSnapshot(access graph.AccessMode) error {
+	s.snapshot = graph.NewCopier(access)
+	s.snapshot.NoKernels = !s.opts.kernelsEnabled()
+	for _, root := range s.restorableRoots {
+		if _, err := s.snapshot.CopyValue(root); err != nil {
+			return fmt.Errorf("core: delta snapshot: %w", err)
+		}
+	}
 	return nil
 }
 

@@ -32,6 +32,11 @@ func NewCopier(mode AccessMode) *Copier {
 // so far. The delta engine uses it to pair snapshot objects with originals.
 func (c *Copier) Mapping() map[Ident]reflect.Value { return c.memo }
 
+// NumCopied returns how many distinct objects the copier has deep-copied
+// so far (the size of its identity memo) — the per-phase item count the
+// observability layer attributes to delta snapshotting.
+func (c *Copier) NumCopied() int { return len(c.memo) }
+
 // Copied returns the copy corresponding to a source reference, if that
 // object has been copied.
 func (c *Copier) Copied(ref reflect.Value) (reflect.Value, bool) {

@@ -16,7 +16,10 @@
 //     outside the critical section;
 //   - pool-reset: objects returned to a sync.Pool must be reset in the
 //     same function, so one call's object graph never rides a pooled
-//     walker, codec, or buffer into the next call.
+//     walker, codec, or buffer into the next call;
+//   - span-end: every obs phase span started must be ended before the
+//     first return statement that follows it (or deferred), so no code
+//     path silently drops a phase from the observability histograms.
 //
 // Each check has a stable ID usable with nrmi-vet's -checks flag, and a
 // testdata package under testdata/src/<id> exercising it.
@@ -80,6 +83,11 @@ func Checks() []Check {
 			ID:  "pool-reset",
 			Doc: "objects must be reset before sync.Pool.Put so no state leaks into the next Get",
 			Run: checkPoolReset,
+		},
+		{
+			ID:  "span-end",
+			Doc: "every started obs phase span must be ended before the first following return, or deferred",
+			Run: checkSpanEnd,
 		},
 	}
 }

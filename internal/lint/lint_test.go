@@ -103,6 +103,7 @@ func TestRegistryCoverage(t *testing.T)      { runCheckTest(t, "registry-coverag
 func TestInterceptorDiscipline(t *testing.T) { runCheckTest(t, "interceptor-discipline", "interceptor") }
 func TestGuardedEscape(t *testing.T)         { runCheckTest(t, "guarded-escape", "guarded") }
 func TestPoolReset(t *testing.T)             { runCheckTest(t, "pool-reset", "poolreset") }
+func TestSpanEnd(t *testing.T)               { runCheckTest(t, "span-end", "spanend") }
 
 // TestExpandSkipsTestdata verifies pattern expansion mirrors the go
 // tool: testdata and hidden directories never join a ./... walk.

@@ -1,0 +1,94 @@
+// Package spanend exercises the span-end check: every started phase span
+// must be ended before the first return that follows it, or deferred. The
+// types mirror the obs package by shape (the check matches structurally),
+// so the package stays self-contained.
+package spanend
+
+import (
+	"errors"
+	"time"
+)
+
+// Call mirrors obs.Call.
+type Call struct{ n int }
+
+// Span mirrors obs.Span: the End family is what the matcher keys on.
+type Span struct {
+	c     *Call
+	start time.Time
+}
+
+// End closes the span.
+func (s *Span) End() { s.c = nil }
+
+// EndBytes is End with a byte count.
+func (s *Span) EndBytes(n int64) { s.End() }
+
+// EndN is End with bytes and an item count.
+func (s *Span) EndN(bytes, items int64) { s.End() }
+
+// Start opens a span.
+func (c *Call) Start(p int) Span { return Span{c: c, start: time.Now()} }
+
+func work() error { return errors.New("boom") }
+
+// CleanLinear ends the span before the error return: the repo idiom.
+func CleanLinear(c *Call) error {
+	sp := c.Start(1)
+	err := work()
+	sp.EndN(0, 1)
+	if err != nil {
+		return err
+	}
+	return nil
+}
+
+// CleanDefer discharges the obligation with a deferred End.
+func CleanDefer(c *Call) error {
+	sp := c.Start(1)
+	defer sp.End()
+	if err := work(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// CleanReuse reuses one variable for sequential phases; each Start finds
+// its own End before the next return.
+func CleanReuse(c *Call) error {
+	sp := c.Start(1)
+	err := work()
+	sp.EndBytes(8)
+	if err != nil {
+		return err
+	}
+	sp = c.Start(2)
+	err = work()
+	sp.End()
+	return err
+}
+
+// NeverEnded starts a span and drops it: its time never reaches a
+// histogram.
+func NeverEnded(c *Call) error {
+	sp := c.Start(1) // want `sp starts a phase span that is never ended`
+	_ = sp
+	return work()
+}
+
+// EarlyReturn leaves the span open on the error path.
+func EarlyReturn(c *Call) error {
+	sp := c.Start(1)
+	if err := work(); err != nil {
+		return err // want `return between sp's Start and End leaves the span open`
+	}
+	sp.End()
+	return nil
+}
+
+// ClosureEnd ends the span only inside a nested function literal, which is
+// a separate function: the obligation here is never discharged.
+func ClosureEnd(c *Call) func() {
+	sp := c.Start(1) // want `sp starts a phase span that is never ended`
+	return func() { sp.End() }
+}

@@ -1,0 +1,127 @@
+package obs
+
+import (
+	"math/bits"
+	"sync/atomic"
+)
+
+// numBuckets covers int64 values with one power-of-two bucket per bit
+// length, plus bucket 0 for values ≤ 0.
+const numBuckets = 65
+
+// Hist is a lock-free log₂-bucketed histogram: bucket i (i ≥ 1) holds
+// values v with bits.Len64(v) == i, i.e. 2^(i-1) ≤ v < 2^i. Observations
+// are single atomic adds, so histograms are safe to hammer from every
+// handler goroutine; snapshots are taken bucket by bucket and are only
+// weakly consistent, which is fine for monitoring.
+type Hist struct {
+	count   atomic.Int64
+	sum     atomic.Int64
+	max     atomic.Int64
+	buckets [numBuckets]atomic.Int64
+}
+
+// Observe records one value.
+func (h *Hist) Observe(v int64) {
+	idx := 0
+	if v > 0 {
+		idx = bits.Len64(uint64(v))
+	}
+	h.buckets[idx].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+	for {
+		cur := h.max.Load()
+		if v <= cur || h.max.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+// HistBucket is one non-empty bucket of a snapshot: Count values in
+// [Lo, Hi].
+type HistBucket struct {
+	Lo    int64 `json:"lo"`
+	Hi    int64 `json:"hi"`
+	Count int64 `json:"count"`
+}
+
+// HistSnapshot is a point-in-time view of a Hist with approximate
+// quantiles derived from the bucket bounds.
+type HistSnapshot struct {
+	Count   int64        `json:"count"`
+	Sum     int64        `json:"sum"`
+	Max     int64        `json:"max"`
+	P50     int64        `json:"p50"`
+	P90     int64        `json:"p90"`
+	P99     int64        `json:"p99"`
+	Buckets []HistBucket `json:"buckets,omitempty"`
+}
+
+// Mean returns the snapshot's arithmetic mean (0 for an empty histogram).
+func (s HistSnapshot) Mean() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return float64(s.Sum) / float64(s.Count)
+}
+
+// bucketBounds returns the value range of bucket idx.
+func bucketBounds(idx int) (lo, hi int64) {
+	if idx == 0 {
+		return 0, 0
+	}
+	lo = int64(1) << (idx - 1)
+	if idx >= 63 {
+		return lo, int64(^uint64(0) >> 1)
+	}
+	return lo, int64(1)<<idx - 1
+}
+
+// Snapshot captures the histogram's current state.
+func (h *Hist) Snapshot() HistSnapshot {
+	s := HistSnapshot{
+		Count: h.count.Load(),
+		Sum:   h.sum.Load(),
+		Max:   h.max.Load(),
+	}
+	var counts [numBuckets]int64
+	for i := range h.buckets {
+		if n := h.buckets[i].Load(); n > 0 {
+			counts[i] = n
+			lo, hi := bucketBounds(i)
+			s.Buckets = append(s.Buckets, HistBucket{Lo: lo, Hi: hi, Count: n})
+		}
+	}
+	s.P50 = quantile(&counts, s.Count, s.Max, 0.50)
+	s.P90 = quantile(&counts, s.Count, s.Max, 0.90)
+	s.P99 = quantile(&counts, s.Count, s.Max, 0.99)
+	return s
+}
+
+// quantile approximates the q-quantile from bucket counts: it returns the
+// upper bound of the bucket containing the target rank, clamped to the
+// observed maximum. The approximation error is bounded by the bucket
+// width (at most 2× the true value), which is the usual trade of
+// log-bucketed histograms.
+func quantile(counts *[numBuckets]int64, total, max int64, q float64) int64 {
+	if total == 0 {
+		return 0
+	}
+	rank := int64(q * float64(total))
+	if rank >= total {
+		rank = total - 1
+	}
+	var cum int64
+	for i := 0; i < numBuckets; i++ {
+		cum += counts[i]
+		if cum > rank {
+			_, hi := bucketBounds(i)
+			if hi > max {
+				hi = max
+			}
+			return hi
+		}
+	}
+	return max
+}

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"nrmi/internal/core"
+	"nrmi/internal/obs"
 	"nrmi/internal/registry"
 	"nrmi/internal/transport"
 )
@@ -36,6 +37,9 @@ type Client struct {
 	// local is the client's own server, required for exporting Remote
 	// arguments (callbacks) and for resolving references to local objects.
 	local *Server
+
+	// metrics is the cumulative counter block behind Metrics().
+	metrics clientMetrics
 }
 
 // NewClient returns a client using dialer to reach servers.
@@ -73,11 +77,13 @@ func (c *Client) conn(addr string) (*transport.Conn, error) {
 		}
 		_ = tc.Close()
 		delete(c.conns, addr)
+		c.metrics.reconnects.Add(1)
 	}
 	nc, err := c.dialer(addr)
 	if err != nil {
 		return nil, err
 	}
+	c.metrics.dials.Add(1)
 	tc := transport.NewConn(nc)
 	if c.opts.Compress {
 		tc.EnableCompression()
@@ -178,10 +184,26 @@ func (st *Stub) CallStats(ctx context.Context, method string, args ...any) (*cor
 // reset and returned once invoke has finished (re)sending its bytes.
 var reqBufPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
 
-// callStats performs the actual invocation. Arguments are encoded exactly
-// once; the retry layer (invoke) re-sends the identical request bytes, so
-// a retried call can never ship different state than the original.
+// callStats performs the actual invocation: doCall under a per-call
+// observability collector and the client counter block.
 func (st *Stub) callStats(ctx context.Context, method string, args ...any) (*core.Response, error) {
+	c := st.c
+	oc := obs.Begin(c.opts.Obs, st.object, method)
+	resp, err := st.doCall(ctx, oc, method, args...)
+	var received int64
+	if resp != nil {
+		received = resp.BytesReceived
+	}
+	c.noteCall(received, err)
+	oc.Finish(err)
+	return resp, err
+}
+
+// doCall is the invocation body. Arguments are encoded exactly once; the
+// retry layer (invoke) re-sends the identical request bytes, so a retried
+// call can never ship different state than the original. oc may be nil
+// (observability disabled).
+func (st *Stub) doCall(ctx context.Context, oc *obs.Call, method string, args ...any) (*core.Response, error) {
 	c := st.c
 	marshalStart := time.Now()
 	req := reqBufPool.Get().(*bytes.Buffer)
@@ -191,29 +213,25 @@ func (st *Stub) callStats(ctx context.Context, method string, args ...any) (*cor
 	}()
 	call := core.NewCall(req, c.opts.Core)
 	defer call.Release()
-	if err := call.EncodeString(st.object); err != nil {
-		return nil, err
-	}
-	if err := call.EncodeString(method); err != nil {
-		return nil, err
-	}
-	if err := call.EncodeUint(uint64(len(args))); err != nil {
-		return nil, err
-	}
-	for i, arg := range args {
-		if err := c.encodeArg(call, arg); err != nil {
-			return nil, fmt.Errorf("rmi: argument %d of %s: %w", i, method, err)
-		}
-	}
-	if err := call.Finish(); err != nil {
-		return nil, err
-	}
-	c.opts.Host.Charge(time.Since(marshalStart))
+	call.SetObs(oc)
+	oc.SetKernels(c.opts.Core.KernelsEnabled())
 
-	payload, err := st.invoke(ctx, req.Bytes())
+	sp := oc.Start(obs.PhaseEncode)
+	err := st.encodeRequest(call, method, args)
+	sp.EndBytes(int64(req.Len()))
 	if err != nil {
 		return nil, err
 	}
+	c.opts.Host.Charge(time.Since(marshalStart))
+	c.metrics.bytesSent.Add(int64(req.Len()))
+
+	sp = oc.Start(obs.PhaseTransport)
+	payload, err := st.invoke(ctx, req.Bytes())
+	sp.EndBytes(int64(len(payload)))
+	if err != nil {
+		return nil, err
+	}
+	oc.SetIO(int64(len(payload)), int64(req.Len()))
 
 	// Response bytes are consumed from here on: whatever happens, this
 	// call is never re-sent (exactly-once restore). ApplyResponse itself
@@ -224,12 +242,32 @@ func (st *Stub) callStats(ctx context.Context, method string, args ...any) (*cor
 	resp, err := call.ApplyResponse(bytes.NewReader(payload))
 	// ApplyResponse copies everything it keeps out of the reply bytes, so
 	// the pooled payload can go back regardless of the outcome.
-	transport.ReleasePayload(payload)
+	c.releasePayload(payload)
 	if err != nil {
 		return nil, &ResponseConsumedError{Method: method, Err: err}
 	}
 	c.opts.Host.Charge(time.Since(unmarshalStart))
 	return resp, nil
+}
+
+// encodeRequest writes the call header and arguments onto the request
+// stream and flushes it.
+func (st *Stub) encodeRequest(call *core.Call, method string, args []any) error {
+	if err := call.EncodeString(st.object); err != nil {
+		return err
+	}
+	if err := call.EncodeString(method); err != nil {
+		return err
+	}
+	if err := call.EncodeUint(uint64(len(args))); err != nil {
+		return err
+	}
+	for i, arg := range args {
+		if err := st.c.encodeArg(call, arg); err != nil {
+			return fmt.Errorf("rmi: argument %d of %s: %w", i, method, err)
+		}
+	}
+	return call.Finish()
 }
 
 // encodeArg writes one argument with its semantics marker.
@@ -283,7 +321,7 @@ func (c *Client) Release(ctx context.Context, ref *RemoteRef) error {
 		return err
 	}
 	p, err := tc.Call(ctx, transport.MsgDGC, buf.Bytes())
-	transport.ReleasePayload(p)
+	c.releasePayload(p)
 	return err
 }
 
@@ -299,7 +337,7 @@ func (c *Client) Renew(ctx context.Context, ref *RemoteRef, lease time.Duration)
 		return err
 	}
 	p, err := tc.Call(ctx, transport.MsgDGC, buf.Bytes())
-	transport.ReleasePayload(p)
+	c.releasePayload(p)
 	return err
 }
 
@@ -310,6 +348,6 @@ func (c *Client) Ping(ctx context.Context, addr string) error {
 		return err
 	}
 	p, err := tc.Call(ctx, transport.MsgPing, []byte("ping"))
-	transport.ReleasePayload(p)
+	c.releasePayload(p)
 	return err
 }

@@ -1,0 +1,87 @@
+package rmi
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"nrmi/internal/bufpool"
+)
+
+// TestClientPayloadOwnershipLedger drives every client-side payload
+// release site — the call path, Ping, and both DGC messages, plus a
+// remote-error reply released inside the transport — with the buffer
+// pool's ownership ledger armed, proving that no site releases a payload
+// twice and none retains one past release. It also pins the
+// PayloadsReleased counter those sites feed.
+func TestClientPayloadOwnershipLedger(t *testing.T) {
+	bufpool.SetDebug(true)
+	defer bufpool.SetDebug(false)
+	e := newEnv(t)
+	stub := e.client.Stub("server", "trees")
+	ctx := context.Background()
+
+	const calls = 25
+	for i := 0; i < calls; i++ {
+		root, _, _, _, _ := paperRTree()
+		if _, err := stub.Call(ctx, "Foo", root); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Remote application error: the error payload is copied into the error
+	// value and recycled inside the transport, never reaching the client's
+	// release sites.
+	if _, err := stub.Call(ctx, "Fail"); err == nil {
+		t.Fatal("Fail must surface its error")
+	}
+	// Liveness-probe release site.
+	if err := e.client.Ping(ctx, "server"); err != nil {
+		t.Fatal(err)
+	}
+	// DGC release sites. The id need not resolve — the reply payload
+	// ownership is what is under audit.
+	ref := &RemoteRef{Addr: "server", ID: 1 << 40}
+	if err := e.client.Renew(ctx, ref, time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.client.Release(ctx, ref); err != nil {
+		t.Fatal(err)
+	}
+
+	cm := e.client.Metrics()
+	if cm.CallsIssued != calls+1 || cm.CallErrors != 1 {
+		t.Errorf("CallsIssued/CallErrors = %d/%d, want %d/1", cm.CallsIssued, cm.CallErrors, calls+1)
+	}
+	if cm.Attempts < cm.CallsIssued {
+		t.Errorf("Attempts %d < CallsIssued %d", cm.Attempts, cm.CallsIssued)
+	}
+	if cm.Dials < 1 {
+		t.Errorf("Dials = %d, want at least the first connection", cm.Dials)
+	}
+	// Successful calls, the ping, and both DGC round trips each release
+	// exactly one reply payload.
+	if want := int64(calls + 3); cm.PayloadsReleased != want {
+		t.Errorf("PayloadsReleased = %d, want %d", cm.PayloadsReleased, want)
+	}
+	if cm.BytesSent == 0 || cm.BytesReceived == 0 {
+		t.Errorf("byte counters silent: sent=%d received=%d", cm.BytesSent, cm.BytesReceived)
+	}
+
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		s := bufpool.DebugSnapshot()
+		if s.DoublePuts != 0 {
+			t.Fatalf("double-Put detected: %+v", s)
+		}
+		if s.Outstanding == 0 {
+			if s.Gets == 0 {
+				t.Fatal("ledger saw no pool traffic; the test is vacuous")
+			}
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("payload leak: %d buffers never returned to the pool (%+v)", s.Outstanding, s)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}

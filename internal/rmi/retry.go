@@ -154,6 +154,10 @@ func (st *Stub) invoke(ctx context.Context, req []byte) ([]byte, error) {
 		attempts = 1
 	}
 	for attempt := 1; ; attempt++ {
+		c.metrics.attempts.Add(1)
+		if attempt > 1 {
+			c.metrics.retries.Add(1)
+		}
 		payload, err := st.sendOnce(ctx, req)
 		if err == nil {
 			return payload, nil

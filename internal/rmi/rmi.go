@@ -31,6 +31,7 @@ import (
 
 	"nrmi/internal/core"
 	"nrmi/internal/netsim"
+	"nrmi/internal/obs"
 	"nrmi/internal/transport"
 	"nrmi/internal/wire"
 )
@@ -155,6 +156,12 @@ type Options struct {
 	// MaxRequestBytes rejects call payloads larger than this before any
 	// decoding work. Zero means unlimited.
 	MaxRequestBytes int
+	// Obs receives per-call phase spans (encode, transport, decode,
+	// restore-commit on clients; decode, prepare, execute, encode-reply on
+	// servers). Nil disables phase recording entirely; the disabled path
+	// allocates nothing and costs a few nil checks per call. Typically an
+	// *obs.Observer shared by both endpoints of a process.
+	Obs obs.Recorder
 }
 
 // CallInfo identifies one invocation for interceptors.

@@ -7,12 +7,14 @@ import (
 	"fmt"
 	"net"
 	"reflect"
+	"runtime/pprof"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"nrmi/internal/core"
 	"nrmi/internal/graph"
+	"nrmi/internal/obs"
 	"nrmi/internal/registry"
 	"nrmi/internal/transport"
 )
@@ -282,13 +284,22 @@ func (s *Server) StartLeaseSweeper(interval time.Duration) {
 	}()
 }
 
-// Metrics is a snapshot of a server's request counters.
+// Metrics is a snapshot of a server's request counters. Every dispatched
+// request lands in exactly one disposition: served (CallsServed, of which
+// CallErrors failed and CallsCancelled were deadline-cancelled mid-
+// execution), rejected (CallsRejected), unavailable (CallsUnavailable), or
+// abandoned before dispatch (CallsAbandoned). The counters therefore obey
+// CallsServed ≥ CallErrors ≥ CallsCancelled at every instant.
 type Metrics struct {
-	// CallsServed counts completed method invocations, successful or not.
+	// CallsServed counts dispatched method invocations, successful or not.
 	CallsServed int64
 	// CallErrors counts invocations that returned an error to the caller.
+	// Every cancelled call is also an errored call, so CallErrors ≥
+	// CallsCancelled.
 	CallErrors int64
-	// BytesIn and BytesOut count request and reply payload bytes.
+	// BytesIn and BytesOut count request and reply payload bytes of
+	// dispatched calls only: requests refused by MaxRequestBytes, admission
+	// control, draining, or pre-dispatch abandonment contribute to neither.
 	BytesIn, BytesOut int64
 	// ObjectsRestored counts content records shipped in restore sections.
 	ObjectsRestored int64
@@ -299,10 +310,16 @@ type Metrics struct {
 	// CallsUnavailable counts requests refused with ErrUnavailable because
 	// they arrived while the server was draining or closed.
 	CallsUnavailable int64
-	// CallsCancelled counts admitted calls whose propagated client deadline
-	// expired before or during execution (these also count in CallErrors
-	// when the method surfaced the cancellation).
+	// CallsCancelled counts dispatched calls whose propagated client
+	// deadline expired during execution. Each is also counted in
+	// CallsServed and CallErrors: the method ran (or started to) and the
+	// caller saw an error.
 	CallsCancelled int64
+	// CallsAbandoned counts admitted calls dropped before dispatch because
+	// the client's deadline had already expired (typically while queued for
+	// an admission slot). The method never ran, so these appear in neither
+	// CallsServed nor CallErrors nor CallsCancelled.
+	CallsAbandoned int64
 	// DrainDuration is the cumulative time Shutdown spent waiting for
 	// in-flight calls to complete.
 	DrainDuration time.Duration
@@ -318,6 +335,7 @@ type serverMetrics struct {
 	rejected    atomic.Int64
 	unavailable atomic.Int64
 	cancelled   atomic.Int64
+	abandoned   atomic.Int64
 	drainNanos  atomic.Int64
 }
 
@@ -332,6 +350,7 @@ func (s *Server) Metrics() Metrics {
 		CallsRejected:    s.metrics.rejected.Load(),
 		CallsUnavailable: s.metrics.unavailable.Load(),
 		CallsCancelled:   s.metrics.cancelled.Load(),
+		CallsAbandoned:   s.metrics.abandoned.Load(),
 		DrainDuration:    time.Duration(s.metrics.drainNanos.Load()),
 	}
 }
@@ -503,18 +522,22 @@ func (s *Server) handle(ctx context.Context, msgType byte, payload []byte) (out 
 		defer slot()
 		if err := ctx.Err(); err != nil {
 			// The caller's deadline expired while we queued for a slot;
-			// don't run work nobody is waiting for.
-			s.metrics.cancelled.Add(1)
+			// don't run work nobody is waiting for. The method never ran,
+			// so this is an abandonment, not a served-then-cancelled call.
+			s.metrics.abandoned.Add(1)
 			return nil, fmt.Errorf("rmi: call abandoned before dispatch: %w", err)
 		}
 		s.metrics.calls.Add(1)
 		s.metrics.bytesIn.Add(int64(len(payload)))
 		reply, err := s.handleCall(ctx, payload)
 		if err != nil {
+			// errors before cancelled, so concurrent snapshots always see
+			// CallErrors ≥ CallsCancelled (calls was bumped pre-dispatch,
+			// keeping CallsServed ≥ CallErrors the same way).
+			s.metrics.errors.Add(1)
 			if ctx.Err() != nil {
 				s.metrics.cancelled.Add(1)
 			}
-			s.metrics.errors.Add(1)
 		}
 		s.metrics.bytesOut.Add(int64(len(reply)))
 		return reply, err
@@ -586,7 +609,8 @@ var errType = reflect.TypeOf((*error)(nil)).Elem()
 // the per-call context (client deadline, server lifetime); interceptors
 // receive it, and methods declaring context.Context as their first
 // parameter get it injected, so long-running handlers can stop when the
-// client has already given up.
+// client has already given up. The body runs under a per-call
+// observability collector keyed by (object, method).
 func (s *Server) handleCall(ctx context.Context, payload []byte) (out []byte, err error) {
 	sc := core.AcceptCall(bytes.NewReader(payload), s.opts.Core)
 	// Decoded argument objects outlive the release (the pool only drops its
@@ -600,21 +624,78 @@ func (s *Server) handleCall(ctx context.Context, payload []byte) (out []byte, er
 	if err != nil {
 		return nil, fmt.Errorf("rmi: reading method name: %w", err)
 	}
-	target, err := s.resolveTarget(objKey)
+	oc := obs.Begin(s.opts.Obs, objKey, methodName)
+	sc.SetObs(oc)
+	oc.SetKernels(s.opts.Core.KernelsEnabled())
+	out, err = s.dispatchCall(ctx, oc, sc, objKey, methodName)
+	oc.SetIO(int64(len(payload)), int64(len(out)))
+	oc.Finish(err)
+	return out, err
+}
+
+// decodedCall is a fully decoded, dispatch-ready invocation.
+type decodedCall struct {
+	method   reflect.Method
+	in       []reflect.Value // receiver first; ctx NOT included
+	takesCtx bool
+	nargs    int
+}
+
+// dispatchCall runs the decoded protocol under phase spans: srv-decode,
+// srv-prepare (inside sc.Prepare), srv-execute, srv-encode.
+func (s *Server) dispatchCall(ctx context.Context, oc *obs.Call, sc *core.ServerCall, objKey, methodName string) ([]byte, error) {
+	sp := oc.Start(obs.PhaseSrvDecode)
+	dc, err := s.decodeArgs(sc, objKey, methodName)
+	sp.EndN(sc.BytesReceived(), int64(dc.nargs))
 	if err != nil {
 		return nil, err
+	}
+	// Fix the pre-call object set before the method body runs (paper,
+	// Section 3, step 1 on the server side).
+	if err := sc.Prepare(); err != nil {
+		return nil, err
+	}
+
+	if lock := s.serializedLock(objKey); lock != nil {
+		lock.Lock()
+		defer lock.Unlock()
+	}
+	sp = oc.Start(obs.PhaseSrvExecute)
+	outs, err := s.executeMethod(ctx, oc != nil, objKey, methodName, dc)
+	sp.End()
+	if err != nil {
+		return nil, err
+	}
+
+	sp = oc.Start(obs.PhaseSrvEncode)
+	out, oldSent, err := s.encodeReply(sc, outs)
+	sp.EndBytes(int64(len(out)))
+	if err != nil {
+		return nil, err
+	}
+	s.metrics.restored.Add(int64(oldSent))
+	return out, nil
+}
+
+// decodeArgs resolves the target and method and decodes the argument list
+// with its per-argument semantics markers.
+func (s *Server) decodeArgs(sc *core.ServerCall, objKey, methodName string) (decodedCall, error) {
+	var dc decodedCall
+	target, err := s.resolveTarget(objKey)
+	if err != nil {
+		return dc, err
 	}
 	method, err := s.methodByName(target.Type(), methodName)
 	if err != nil {
-		return nil, err
+		return dc, err
 	}
 	nargs, err := sc.DecodeUint()
 	if err != nil {
-		return nil, fmt.Errorf("rmi: reading argument count: %w", err)
+		return dc, fmt.Errorf("rmi: reading argument count: %w", err)
 	}
 	mt := method.Type // includes receiver at index 0
 	if mt.IsVariadic() {
-		return nil, fmt.Errorf("%w: %s is variadic; variadic remote methods are not supported", ErrBadArgument, methodName)
+		return dc, fmt.Errorf("%w: %s is variadic; variadic remote methods are not supported", ErrBadArgument, methodName)
 	}
 	// A context.Context first parameter is server-injected, not a wire
 	// argument — the mirror of the client stub convention.
@@ -624,7 +705,7 @@ func (s *Server) handleCall(ctx context.Context, payload []byte) (out []byte, er
 		ctxOffset = 1
 	}
 	if int(nargs) != mt.NumIn()-1-ctxOffset {
-		return nil, fmt.Errorf("%w: %s takes %d arguments, got %d",
+		return dc, fmt.Errorf("%w: %s takes %d arguments, got %d",
 			ErrBadArgument, methodName, mt.NumIn()-1-ctxOffset, nargs)
 	}
 	in := make([]reflect.Value, 0, nargs+1)
@@ -632,7 +713,7 @@ func (s *Server) handleCall(ctx context.Context, payload []byte) (out []byte, er
 	for i := 0; i < int(nargs); i++ {
 		sem, err := sc.DecodeUint()
 		if err != nil {
-			return nil, fmt.Errorf("rmi: reading semantics marker: %w", err)
+			return dc, fmt.Errorf("rmi: reading semantics marker: %w", err)
 		}
 		var raw any
 		switch semantics(sem) {
@@ -649,58 +730,74 @@ func (s *Server) handleCall(ctx context.Context, payload []byte) (out []byte, er
 			err = fmt.Errorf("rmi: unknown semantics marker %d", sem)
 		}
 		if err != nil {
-			return nil, fmt.Errorf("rmi: decoding argument %d: %w", i, err)
+			return dc, fmt.Errorf("rmi: decoding argument %d: %w", i, err)
 		}
 		av, err := convertArg(raw, mt.In(i+1+ctxOffset))
 		if err != nil {
-			return nil, fmt.Errorf("rmi: argument %d of %s: %w", i, methodName, err)
+			return dc, fmt.Errorf("rmi: argument %d of %s: %w", i, methodName, err)
 		}
 		in = append(in, av)
 	}
-	// Fix the pre-call object set before the method body runs (paper,
-	// Section 3, step 1 on the server side).
-	if err := sc.Prepare(); err != nil {
-		return nil, err
-	}
+	return decodedCall{method: method, in: in, takesCtx: takesCtx, nargs: int(nargs)}, nil
+}
 
-	if lock := s.serializedLock(objKey); lock != nil {
-		lock.Lock()
-		defer lock.Unlock()
-	}
+// executeMethod runs the resolved method under the interceptor chain. With
+// labeled set (observability on), the goroutine carries pprof labels
+// nrmi_service/nrmi_method for the duration of the method body, so CPU
+// profiles attribute samples per remote method.
+func (s *Server) executeMethod(ctx context.Context, labeled bool, objKey, methodName string, dc decodedCall) ([]reflect.Value, error) {
 	var outs []reflect.Value
 	doInvoke := func(ctx context.Context) error {
-		callIn := in
-		if takesCtx {
-			callIn = make([]reflect.Value, 0, len(in)+1)
-			callIn = append(callIn, in[0], reflect.ValueOf(ctx))
-			callIn = append(callIn, in[1:]...)
+		callIn := dc.in
+		if dc.takesCtx {
+			callIn = make([]reflect.Value, 0, len(dc.in)+1)
+			callIn = append(callIn, dc.in[0], reflect.ValueOf(ctx))
+			callIn = append(callIn, dc.in[1:]...)
 		}
 		var err error
-		outs, err = s.invoke(method, callIn)
+		outs, err = s.invoke(dc.method, callIn)
 		return err
 	}
-	if ic := s.opts.Intercept; ic != nil {
-		info := CallInfo{Object: objKey, Method: methodName, ArgCount: int(nargs)}
-		if err := ic(ctx, info, doInvoke); err != nil {
-			return nil, err
+	run := func(ctx context.Context) error {
+		if ic := s.opts.Intercept; ic != nil {
+			info := CallInfo{Object: objKey, Method: methodName, ArgCount: dc.nargs}
+			if err := ic(ctx, info, doInvoke); err != nil {
+				return err
+			}
+			if outs == nil && dc.method.Type.NumOut() > numErrOuts(dc.method.Type) {
+				return fmt.Errorf("rmi: interceptor for %s skipped the call without error", methodName)
+			}
+			return nil
 		}
-		if outs == nil && method.Type.NumOut() > numErrOuts(method.Type) {
-			return nil, fmt.Errorf("rmi: interceptor for %s skipped the call without error", methodName)
-		}
-	} else if err := doInvoke(ctx); err != nil {
-		return nil, err
+		return doInvoke(ctx)
 	}
-	rets, err := s.outboundResults(outs)
+	var err error
+	if labeled {
+		pprof.Do(ctx, pprof.Labels("nrmi_service", objKey, "nrmi_method", methodName), func(ctx context.Context) {
+			err = run(ctx)
+		})
+	} else {
+		err = run(ctx)
+	}
 	if err != nil {
 		return nil, err
+	}
+	return outs, nil
+}
+
+// encodeReply converts the method results and encodes the restore
+// response, returning the reply bytes and how many old objects shipped.
+func (s *Server) encodeReply(sc *core.ServerCall, outs []reflect.Value) ([]byte, int, error) {
+	rets, err := s.outboundResults(outs)
+	if err != nil {
+		return nil, 0, err
 	}
 	var respBuf bytes.Buffer
 	stats, err := sc.EncodeResponse(&respBuf, rets)
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
-	s.metrics.restored.Add(int64(stats.OldSent))
-	return respBuf.Bytes(), nil
+	return respBuf.Bytes(), stats.OldSent, nil
 }
 
 // serializedLock returns the per-export mutex, or nil for plain exports.

@@ -1,0 +1,68 @@
+package transport
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"nrmi/internal/bufpool"
+)
+
+// TestCancelReplyRaceDoesNotLeakPayloads races client deadlines against
+// reply delivery with the buffer pool's ownership ledger armed. When a
+// cancellation loses the race — the read loop has already claimed the
+// pending entry and delivered the reply to the call's buffered channel —
+// Conn.Call must still drain and recycle the pooled payload; before that
+// drain existed, every such crossing stranded one pool buffer. The test
+// also proves no path Puts a payload twice.
+func TestCancelReplyRaceDoesNotLeakPayloads(t *testing.T) {
+	bufpool.SetDebug(true)
+	defer bufpool.SetDebug(false)
+	c := startPair(t, func(_ context.Context, _ byte, p []byte) ([]byte, error) {
+		out := make([]byte, len(p))
+		copy(out, p)
+		return out, nil
+	})
+	// 64 bytes: an exact pooled class, so every reply payload is tracked.
+	payload := make([]byte, 64)
+	const workers, per = 8, 60
+	done := make(chan struct{})
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer func() { done <- struct{}{} }()
+			for i := 0; i < per; i++ {
+				// Deadlines straddle the reply latency, so cancellation and
+				// reply delivery cross inside Conn.Call in both orders.
+				d := time.Duration((i%7)+1) * 100 * time.Microsecond
+				ctx, cancel := context.WithTimeout(context.Background(), d)
+				p, err := c.Call(ctx, MsgCall, payload)
+				cancel()
+				if err == nil {
+					ReleasePayload(p)
+				}
+			}
+		}()
+	}
+	for w := 0; w < workers; w++ {
+		<-done
+	}
+	// Straggler handlers and unmatched replies recycle asynchronously in
+	// the read loop; poll until the ledger settles.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		s := bufpool.DebugSnapshot()
+		if s.DoublePuts != 0 {
+			t.Fatalf("double-Put detected: %+v", s)
+		}
+		if s.Outstanding == 0 {
+			if s.Gets == 0 {
+				t.Fatal("ledger saw no pool traffic; the test is vacuous")
+			}
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("payload leak: %d buffers never returned to the pool (%+v)", s.Outstanding, s)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}

@@ -519,8 +519,22 @@ func (c *Conn) Call(ctx context.Context, msgType byte, payload []byte) ([]byte, 
 		return f.payload, nil
 	case <-ctx.Done():
 		c.mu.Lock()
-		delete(c.pending, id)
+		_, pendingStill := c.pending[id]
+		if pendingStill {
+			delete(c.pending, id)
+		}
 		c.mu.Unlock()
+		if !pendingStill {
+			// We lost the race: the read loop already claimed this id and is
+			// delivering the reply to ch (buffered, so its send cannot
+			// block), or failAll closed the channel. Without this receive
+			// the pooled reply payload would be stranded — delivered to a
+			// channel nothing reads — and leak from the pool on every
+			// deadline that crosses its reply on the wire.
+			if f, ok := <-ch; ok {
+				ReleasePayload(f.payload)
+			}
+		}
 		return nil, &CallError{Phase: PhaseAwait, Sent: true, Err: ctx.Err()}
 	}
 }

@@ -314,12 +314,13 @@ func (e *Encoder) encodeMapEntries(v reflect.Value, depth int) error {
 	if err := e.w.writeUint(uint64(v.Len())); err != nil {
 		return err
 	}
-	iter := v.MapRange()
-	for iter.Next() {
-		if err := e.encodeValue(iter.Key(), depth+1); err != nil {
+	kp := acquireSortedKeys(v)
+	defer releaseKeys(kp)
+	for _, k := range *kp {
+		if err := e.encodeValue(k, depth+1); err != nil {
 			return err
 		}
-		if err := e.encodeValue(iter.Value(), depth+1); err != nil {
+		if err := e.encodeValue(v.MapIndex(k), depth+1); err != nil {
 			return err
 		}
 	}

@@ -189,13 +189,15 @@ func compileEncMap(k *encKernel, t reflect.Type, mode graph.AccessMode, session 
 		if err := e.w.writeUint(uint64(v.Len())); err != nil {
 			return err
 		}
-		iter := graph.AcquireMapIter(v)
-		defer graph.ReleaseMapIter(iter)
-		for iter.Next() {
-			if err := keyK.enc(e, iter.Key(), depth+1); err != nil {
+		// Canonical key order (mapkeys.go) — must match the generic
+		// encoder byte for byte.
+		kp := acquireSortedKeys(v)
+		defer releaseKeys(kp)
+		for _, key := range *kp {
+			if err := keyK.enc(e, key, depth+1); err != nil {
 				return err
 			}
-			if err := elemK.enc(e, iter.Value(), depth+1); err != nil {
+			if err := elemK.enc(e, v.MapIndex(key), depth+1); err != nil {
 				return err
 			}
 		}

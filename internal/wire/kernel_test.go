@@ -202,3 +202,37 @@ func TestKernelCodecConcurrentStress(t *testing.T) {
 	}
 	wg.Wait()
 }
+
+// TestMapEncodingDeterministic: map entries serialize in canonical key
+// order (mapkeys.go), so repeated encodings of the same value — on either
+// encoder path — produce identical bytes. Before keys were sorted, every
+// multi-key map inherited Go's randomized iteration order and this test
+// (and TestKernelEncodeByteIdentity) failed intermittently.
+func TestMapEncodingDeterministic(t *testing.T) {
+	on, off := kernelOptions(t)
+	value := map[string]any{
+		"alpha": 1, "bravo": 2, "charlie": 3, "delta": 4,
+		"echo": map[string]int{"x": 1, "y": 2, "z": 3},
+		"fox":  &wnode{Data: 9},
+		"golf": []int{3, 1, 4}, "hotel": true,
+	}
+	encodeOnce := func(opts Options) []byte {
+		var buf bytes.Buffer
+		enc := NewEncoder(&buf, opts)
+		if err := enc.Encode(value); err != nil {
+			t.Fatal(err)
+		}
+		if err := enc.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	want := encodeOnce(on)
+	for i := 0; i < 20; i++ {
+		for name, opts := range map[string]Options{"kernel": on, "generic": off} {
+			if got := encodeOnce(opts); !bytes.Equal(got, want) {
+				t.Fatalf("iteration %d: %s stream differs from first kernel stream", i, name)
+			}
+		}
+	}
+}

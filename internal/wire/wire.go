@@ -112,6 +112,15 @@ func (o Options) kernelsEnabled() bool {
 	return o.Engine == EngineV2 && !o.DisablePlanCache && !o.DisableKernels
 }
 
+// KernelsEnabled reports whether this configuration, after defaulting,
+// selects the compiled per-type kernels and the pooled hot-path state:
+// engine V2 with both the plan cache and the kernels on. Observability
+// layers use it to label measurements, so per-phase numbers from the
+// DisableKernels ablation stay distinguishable from the optimized path.
+func (o Options) KernelsEnabled() bool {
+	return o.withDefaults().kernelsEnabled()
+}
+
 const defaultMaxElems = 1 << 26
 
 // withDefaults returns a copy of o with zero fields replaced by defaults.

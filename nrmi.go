@@ -56,6 +56,7 @@ import (
 	"nrmi/internal/core"
 	"nrmi/internal/graph"
 	"nrmi/internal/netsim"
+	"nrmi/internal/obs"
 	"nrmi/internal/registry"
 	"nrmi/internal/rmi"
 	"nrmi/internal/wire"
@@ -169,6 +170,11 @@ type Options struct {
 	// MaxRequestBytes rejects call payloads larger than this before any
 	// decoding work on the server. Zero means unlimited.
 	MaxRequestBytes int
+	// Observer receives per-call phase measurements (latency, bytes, object
+	// counts per pipeline phase) from this endpoint; see NewObserver. Nil
+	// disables phase recording entirely — the disabled path costs nothing
+	// per call.
+	Observer *Observer
 }
 
 // CallInfo identifies one invocation for interceptors.
@@ -201,9 +207,28 @@ var (
 )
 
 // ServerMetrics is a snapshot of a server's request counters, including
-// the degradation paths: rejected, unavailable, and cancelled calls, and
-// drain duration.
+// the degradation paths: rejected, unavailable, abandoned, and cancelled
+// calls, and drain duration.
 type ServerMetrics = rmi.Metrics
+
+// ClientMetrics is a snapshot of a client's call, retry, reconnect, byte,
+// and payload-ownership counters; see Client.Metrics.
+type ClientMetrics = rmi.ClientMetrics
+
+// Observer aggregates per-call phase measurements into per-(service,
+// method, phase) histograms and a bounded ring of recent call traces.
+// Attach one via Options.Observer; export its state with
+// Observer.Snapshot, Observer.Handler (the /debug/nrmi/metrics and
+// /debug/nrmi/traces JSON endpoints), or Observer.Publish (expvar).
+type Observer = obs.Observer
+
+// ObserverConfig tunes an Observer; the zero value is usable.
+type ObserverConfig = obs.Config
+
+// NewObserver returns an Observer with the given configuration. The same
+// Observer may serve several endpoints; a client and a server sharing one
+// merge both sides of each call under its (service, method) key.
+func NewObserver(cfg ObserverConfig) *Observer { return obs.New(cfg) }
 
 // rmiOptions lowers public options onto the internal stack.
 func (o Options) rmiOptions() rmi.Options {
@@ -215,7 +240,7 @@ func (o Options) rmiOptions() rmi.Options {
 	if o.DCECompat {
 		policy = core.PolicyDCE
 	}
-	return rmi.Options{
+	r := rmi.Options{
 		Core: core.Options{
 			Engine:           o.Engine,
 			Access:           access,
@@ -234,6 +259,12 @@ func (o Options) rmiOptions() rmi.Options {
 		AdmissionWait:      o.AdmissionWait,
 		MaxRequestBytes:    o.MaxRequestBytes,
 	}
+	// The nil check matters: assigning a nil *Observer directly would make
+	// the interface non-nil and turn on the recording path for nothing.
+	if o.Observer != nil {
+		r.Obs = o.Observer
+	}
+	return r
 }
 
 // NewServer returns a server identifying itself under addr (the address
