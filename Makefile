@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race lint chaos soak cover bench bench-smoke obs-smoke phases tables verify-tables loc examples fuzz clean
+.PHONY: all build test race lint chaos soak cover bench bench-smoke obs-smoke load-smoke load-capacity phases tables verify-tables loc examples fuzz clean
 
 all: build test
 
@@ -10,7 +10,7 @@ build:
 	$(GO) build ./...
 	$(GO) vet ./...
 
-test: lint soak bench-smoke obs-smoke
+test: lint soak bench-smoke obs-smoke load-smoke
 	$(GO) vet ./...
 	$(GO) test -race ./...
 
@@ -54,6 +54,19 @@ bench-smoke:
 # than 2% of a call.
 obs-smoke:
 	$(GO) run ./cmd/nrmi-bench -obs-smoke
+
+# Load-harness smoke gate: the generator's coordinated-omission
+# self-check on a virtual clock, a deterministic low-rate run against a
+# 2-server fleet (exact schedule-derived call counts, zero errors), and
+# a schema round-trip of the capacity-table JSON.
+load-smoke:
+	$(GO) run ./cmd/nrmi-load -smoke
+
+# Fleet capacity table: max sustainable RPS at the p99 SLO for 1/2/4
+# in-process servers behind the client-side balancer. Refreshes the
+# BENCH_5.json snapshot EXPERIMENTS.md quotes.
+load-capacity:
+	$(GO) run ./cmd/nrmi-load -out BENCH_5.json
 
 # Per-phase cost breakdown of the copy-restore pipeline (scenario III,
 # kernels on/off), the table EXPERIMENTS.md quotes.

@@ -1,0 +1,134 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"nrmi/internal/balance"
+	"nrmi/internal/core"
+	"nrmi/internal/load"
+	"nrmi/internal/netsim"
+	"nrmi/internal/rmi"
+	"nrmi/internal/wire"
+)
+
+// Node is the restorable payload each call carries: a singly linked list
+// the server mutates in place, so every call exercises the full
+// copy-restore pipeline, not just the transport.
+type Node struct {
+	Value int
+	Next  *Node
+}
+
+// NRMIRestorable marks Node for copy-restore.
+func (*Node) NRMIRestorable() {}
+
+// makeList builds a list of n nodes tagged with the call's seq.
+func makeList(n int, seq int64) *Node {
+	var head *Node
+	for i := n - 1; i >= 0; i-- {
+		head = &Node{Value: int(seq) + i, Next: head}
+	}
+	return head
+}
+
+// LoadService is the replicated benchmark object.
+type LoadService struct {
+	service time.Duration
+	calls   atomic.Int64
+}
+
+// Work simulates service time, then increments every node in place —
+// the mutation the copy-restore path ships back.
+func (s *LoadService) Work(head *Node) int {
+	if s.service > 0 {
+		time.Sleep(s.service)
+	}
+	count := 0
+	for n := head; n != nil; n = n.Next {
+		n.Value++
+		count++
+	}
+	s.calls.Add(1)
+	return count
+}
+
+// fleetEnv is one disposable n-server world over a loopback netsim.
+type fleetEnv struct {
+	client *rmi.Client
+	svcs   []*LoadService
+	close  func()
+}
+
+// newFleet builds n servers (each with admission control, so per-server
+// capacity is bounded and fleet capacity scales with n), a pooled-conn
+// client, and a balancer-routed fleet stub over them.
+func newFleet(n int, cfg harnessConfig) (*fleetEnv, *balance.FleetStub, error) {
+	reg := wire.NewRegistry()
+	if err := reg.Register("load.Node", Node{}); err != nil {
+		return nil, nil, err
+	}
+	opts := rmi.Options{Core: core.Options{Registry: reg}, CallTimeout: 2 * time.Second}
+	sopts := opts
+	sopts.MaxConcurrentCalls = cfg.Conc
+	sopts.AdmissionQueue = 4 * cfg.Conc
+	sopts.AdmissionWait = cfg.SLO
+
+	nw := netsim.NewNetwork(netsim.Loopback())
+	env := &fleetEnv{}
+	var addrs []string
+	var cleanups []func()
+	env.close = func() {
+		for i := len(cleanups) - 1; i >= 0; i-- {
+			cleanups[i]()
+		}
+		nw.Close()
+	}
+	for i := 0; i < n; i++ {
+		addr := fmt.Sprintf("s%d", i)
+		srv, err := rmi.NewServer(addr, sopts)
+		if err != nil {
+			env.close()
+			return nil, nil, err
+		}
+		svc := &LoadService{service: cfg.Service}
+		if err := srv.Export("bench", svc); err != nil {
+			env.close()
+			return nil, nil, err
+		}
+		ln, err := nw.Listen(addr)
+		if err != nil {
+			env.close()
+			return nil, nil, err
+		}
+		srv.Serve(ln)
+		cleanups = append(cleanups, func() { srv.Close() })
+		env.svcs = append(env.svcs, svc)
+		addrs = append(addrs, addr)
+	}
+	cl, err := rmi.NewClient(nw.Dial, opts)
+	if err != nil {
+		env.close()
+		return nil, nil, err
+	}
+	cleanups = append(cleanups, func() { cl.Close() })
+	env.client = cl
+
+	b, err := balance.New(addrs, balance.Options{Policy: cfg.Policy, Seed: cfg.Seed})
+	if err != nil {
+		env.close()
+		return nil, nil, err
+	}
+	return env, balance.NewFleetStub(cl, b, "bench"), nil
+}
+
+// target adapts the fleet stub to the load generator: one call per seq,
+// routed by seq, carrying a fresh restorable list.
+func (env *fleetEnv) target(fs *balance.FleetStub, listLen int) load.Target {
+	return func(ctx context.Context, seq int64) error {
+		_, err := fs.Call(ctx, uint64(seq), "Work", makeList(listLen, seq))
+		return err
+	}
+}

@@ -1,0 +1,437 @@
+// Package balance is NRMI's client-side fleet balancer: it spreads calls
+// from one client over a fleet of servers and keeps routing around the
+// ones that stop answering. Following the RAFDA line of work (PAPERS.md),
+// distribution policy lives here as configuration — consistent-hash or
+// least-loaded routing, health-based ejection and reinstatement — rather
+// than in application stubs, which keep the paper's per-type calling
+// semantics and nothing else.
+//
+// Health is driven by the transport's typed failure classification: a
+// *transport.CallError (connection-level failure) or an unavailable
+// *transport.StatusError counts against an endpoint; application errors
+// and caller cancellations do not. FailAfter consecutive faults eject an
+// endpoint from rotation; ReviveAfter consecutive health-check successes
+// (Probe) reinstate it. Every transition records its cause, so an
+// operator can see *why* a server left the rotation, not just that it
+// did.
+package balance
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"time"
+
+	"nrmi/internal/transport"
+)
+
+// PolicyKind selects the routing policy.
+type PolicyKind int
+
+const (
+	// ConsistentHash routes each key to its ring owner, so a key keeps
+	// hitting the same server while the fleet is stable (cache affinity)
+	// and a membership change remaps only ~K/n keys.
+	ConsistentHash PolicyKind = iota
+	// LeastLoaded routes each call to the healthy endpoint with the
+	// fewest balancer-tracked in-flight calls, ties broken by a seeded
+	// RNG draw.
+	LeastLoaded
+)
+
+// String returns the policy's stable name.
+func (p PolicyKind) String() string {
+	switch p {
+	case ConsistentHash:
+		return "consistent-hash"
+	case LeastLoaded:
+		return "least-loaded"
+	}
+	return fmt.Sprintf("policy-%d", int(p))
+}
+
+// Errors reported by the balancer.
+var (
+	// ErrNoHealthyEndpoint is reported by Pick when every endpoint is
+	// ejected (or excluded by the caller).
+	ErrNoHealthyEndpoint = errors.New("balance: no healthy endpoint")
+	// ErrUnknownEndpoint is reported for operations naming an address the
+	// balancer does not manage.
+	ErrUnknownEndpoint = errors.New("balance: unknown endpoint")
+	// ErrDuplicateEndpoint is reported when adding an address twice.
+	ErrDuplicateEndpoint = errors.New("balance: duplicate endpoint")
+)
+
+// Prober checks one endpoint's health; nil error means healthy. The
+// default prober of a FleetStub is the rmi client's transport ping.
+type Prober func(ctx context.Context, addr string) error
+
+// Options configures a Balancer. The zero value is usable.
+type Options struct {
+	// Policy selects the routing policy (default ConsistentHash).
+	Policy PolicyKind
+	// Replicas is the consistent-hash ring's points per endpoint
+	// (default 128).
+	Replicas int
+	// FailAfter is how many consecutive endpoint faults eject an
+	// endpoint (default 3).
+	FailAfter int
+	// ReviveAfter is how many consecutive probe successes reinstate an
+	// ejected endpoint (default 2).
+	ReviveAfter int
+	// Seed seeds the tie-break RNG, making least-loaded routing
+	// replayable; 0 seeds from the clock.
+	Seed int64
+	// Prober is the health check Probe runs against ejected endpoints;
+	// nil leaves probing to the caller (Probe is then a no-op).
+	Prober Prober
+}
+
+func (o Options) withDefaults() Options {
+	if o.Replicas <= 0 {
+		o.Replicas = 128
+	}
+	if o.FailAfter <= 0 {
+		o.FailAfter = 3
+	}
+	if o.ReviveAfter <= 0 {
+		o.ReviveAfter = 2
+	}
+	if o.Seed == 0 {
+		o.Seed = time.Now().UnixNano()
+	}
+	return o
+}
+
+// endpoint is one server's balancer-side state.
+type endpoint struct {
+	addr       string
+	ejected    bool
+	inFlight   int
+	consecFail int
+	probeOK    int
+	lastErr    error
+	ejections  int64
+	calls      int64
+	faults     int64
+}
+
+// Balancer routes calls over a fleet. All methods are safe for
+// concurrent use.
+type Balancer struct {
+	opts Options
+
+	mu   sync.Mutex
+	eps  map[string]*endpoint
+	ring ring
+	rng  *rand.Rand
+
+	picks          int64
+	noHealthy      int64
+	ejections      int64
+	reinstatements int64
+}
+
+// New returns a balancer over the given endpoint addresses.
+func New(addrs []string, opts Options) (*Balancer, error) {
+	if len(addrs) == 0 {
+		return nil, errors.New("balance: no endpoints")
+	}
+	opts = opts.withDefaults()
+	b := &Balancer{
+		opts: opts,
+		eps:  make(map[string]*endpoint, len(addrs)),
+		rng:  rand.New(rand.NewSource(opts.Seed)),
+	}
+	for _, addr := range addrs {
+		if _, dup := b.eps[addr]; dup {
+			return nil, fmt.Errorf("%w: %s", ErrDuplicateEndpoint, addr)
+		}
+		b.eps[addr] = &endpoint{addr: addr}
+	}
+	b.rebuildRingLocked()
+	return b, nil
+}
+
+// rebuildRingLocked reconstructs the hash ring from the endpoint set.
+func (b *Balancer) rebuildRingLocked() {
+	addrs := make([]string, 0, len(b.eps))
+	for addr := range b.eps {
+		addrs = append(addrs, addr)
+	}
+	sort.Strings(addrs)
+	b.ring = buildRing(addrs, b.opts.Replicas)
+}
+
+// Add joins a new endpoint to the fleet, healthy.
+func (b *Balancer) Add(addr string) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if _, dup := b.eps[addr]; dup {
+		return fmt.Errorf("%w: %s", ErrDuplicateEndpoint, addr)
+	}
+	b.eps[addr] = &endpoint{addr: addr}
+	b.rebuildRingLocked()
+	return nil
+}
+
+// Remove leaves an endpoint from the fleet.
+func (b *Balancer) Remove(addr string) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if _, ok := b.eps[addr]; !ok {
+		return fmt.Errorf("%w: %s", ErrUnknownEndpoint, addr)
+	}
+	delete(b.eps, addr)
+	b.rebuildRingLocked()
+	return nil
+}
+
+// Pick selects the endpoint for one call and reserves an in-flight slot
+// on it; the caller must pair it with Done(addr, err) when the call
+// finishes. key is the routing key (consistent-hash policy only).
+func (b *Balancer) Pick(key uint64) (string, error) {
+	return b.pick(key, nil)
+}
+
+// PickExcluding is Pick, skipping the given addresses — the failover
+// path: an endpoint that just failed a call is excluded from the retry
+// even while it still counts as healthy.
+func (b *Balancer) PickExcluding(key uint64, exclude map[string]bool) (string, error) {
+	return b.pick(key, exclude)
+}
+
+func (b *Balancer) pick(key uint64, exclude map[string]bool) (string, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	usable := func(addr string) bool {
+		ep, ok := b.eps[addr]
+		return ok && !ep.ejected && !exclude[addr]
+	}
+	var chosen string
+	switch b.opts.Policy {
+	case LeastLoaded:
+		var ties []*endpoint
+		best := -1
+		for _, ep := range b.eps {
+			if !usable(ep.addr) {
+				continue
+			}
+			switch {
+			case best < 0 || ep.inFlight < best:
+				best = ep.inFlight
+				ties = ties[:0]
+				ties = append(ties, ep)
+			case ep.inFlight == best:
+				ties = append(ties, ep)
+			}
+		}
+		if len(ties) > 0 {
+			// Deterministic tie-break: sort by name, then one seeded
+			// draw. Map iteration order never reaches the RNG stream.
+			sort.Slice(ties, func(i, j int) bool { return ties[i].addr < ties[j].addr })
+			chosen = ties[b.rng.Intn(len(ties))].addr
+		}
+	default: // ConsistentHash
+		chosen = b.ring.pick(key, usable)
+	}
+	if chosen == "" {
+		b.noHealthy++
+		return "", ErrNoHealthyEndpoint
+	}
+	ep := b.eps[chosen]
+	ep.inFlight++
+	ep.calls++
+	b.picks++
+	return chosen, nil
+}
+
+// Done releases the in-flight slot Pick reserved and feeds the call's
+// outcome into health accounting: an endpoint fault (see EndpointFault)
+// increments the consecutive-failure count and ejects the endpoint at
+// FailAfter, recording err as the ejection cause; any other outcome
+// resets the count — the server answered, however unhappily.
+func (b *Balancer) Done(addr string, err error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	ep, ok := b.eps[addr]
+	if !ok {
+		return // endpoint removed while the call was in flight
+	}
+	if ep.inFlight > 0 {
+		ep.inFlight--
+	}
+	if !EndpointFault(err) {
+		ep.consecFail = 0
+		return
+	}
+	ep.faults++
+	ep.consecFail++
+	ep.lastErr = err
+	if !ep.ejected && ep.consecFail >= b.opts.FailAfter {
+		ep.ejected = true
+		ep.probeOK = 0
+		ep.ejections++
+		b.ejections++
+	}
+}
+
+// Probe health-checks every ejected endpoint once with Options.Prober
+// and reinstates those that have now passed ReviveAfter consecutive
+// checks. It returns how many endpoints were reinstated. Callers own the
+// cadence (a ticker in production, an explicit call in tests), which
+// keeps the balancer free of hidden goroutines and wall-clock coupling.
+func (b *Balancer) Probe(ctx context.Context) int {
+	if b.opts.Prober == nil {
+		return 0
+	}
+	b.mu.Lock()
+	var ejected []string
+	for addr, ep := range b.eps {
+		if ep.ejected {
+			ejected = append(ejected, addr)
+		}
+	}
+	b.mu.Unlock()
+	sort.Strings(ejected) // deterministic probe order
+	revived := 0
+	for _, addr := range ejected {
+		err := b.opts.Prober(ctx, addr)
+		b.mu.Lock()
+		ep, ok := b.eps[addr]
+		if !ok || !ep.ejected {
+			b.mu.Unlock()
+			continue
+		}
+		if err != nil {
+			ep.probeOK = 0
+			ep.lastErr = err
+			b.mu.Unlock()
+			continue
+		}
+		ep.probeOK++
+		if ep.probeOK >= b.opts.ReviveAfter {
+			ep.ejected = false
+			ep.consecFail = 0
+			ep.probeOK = 0
+			ep.lastErr = nil
+			b.reinstatements++
+			revived++
+		}
+		b.mu.Unlock()
+	}
+	return revived
+}
+
+// EndpointFault reports whether err indicts the endpoint or its link
+// rather than the application or the caller:
+//
+//   - remote application errors are not faults: the method ran;
+//   - typed StatusUnavailable rejections are: the server is going away;
+//   - typed StatusOverloaded/StatusCancelled rejections are not: the
+//     server is alive and shedding load or honoring the caller's
+//     deadline — routing can avoid it this instant (failover), but it
+//     must not be ejected for being busy;
+//   - caller cancellation is not a fault: the caller gave up;
+//   - everything else — dial errors, connection failures, per-attempt
+//     timeouts, torn replies — is.
+func EndpointFault(err error) bool {
+	if err == nil {
+		return false
+	}
+	var status *transport.StatusError
+	if errors.As(err, &status) {
+		return status.Code == transport.StatusUnavailable
+	}
+	var remote *transport.RemoteError
+	if errors.As(err, &remote) {
+		return false
+	}
+	if errors.Is(err, context.Canceled) {
+		return false
+	}
+	return true
+}
+
+// EndpointStatus is the exported state of one endpoint.
+type EndpointStatus struct {
+	// Addr is the endpoint's address.
+	Addr string `json:"addr"`
+	// Ejected reports whether the endpoint is out of rotation.
+	Ejected bool `json:"ejected"`
+	// InFlight is the number of balancer-routed calls outstanding.
+	InFlight int `json:"in_flight"`
+	// Calls and Faults are cumulative routed calls and endpoint faults.
+	Calls  int64 `json:"calls"`
+	Faults int64 `json:"faults"`
+	// Ejections counts how many times the endpoint has been ejected.
+	Ejections int64 `json:"ejections"`
+	// ConsecFailures is the current consecutive-fault count.
+	ConsecFailures int `json:"consec_failures"`
+	// LastError is the most recent fault (or failed probe) cause; empty
+	// when healthy.
+	LastError string `json:"last_error,omitempty"`
+}
+
+// Stats is the balancer's cumulative counter snapshot.
+type Stats struct {
+	// Picks counts successful endpoint selections.
+	Picks int64 `json:"picks"`
+	// NoHealthy counts selections that found no usable endpoint.
+	NoHealthy int64 `json:"no_healthy"`
+	// Ejections and Reinstatements count health transitions.
+	Ejections      int64 `json:"ejections"`
+	Reinstatements int64 `json:"reinstatements"`
+}
+
+// Endpoints returns the per-endpoint status, sorted by address.
+func (b *Balancer) Endpoints() []EndpointStatus {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	out := make([]EndpointStatus, 0, len(b.eps))
+	for _, ep := range b.eps {
+		st := EndpointStatus{
+			Addr:           ep.addr,
+			Ejected:        ep.ejected,
+			InFlight:       ep.inFlight,
+			Calls:          ep.calls,
+			Faults:         ep.faults,
+			Ejections:      ep.ejections,
+			ConsecFailures: ep.consecFail,
+		}
+		if ep.lastErr != nil {
+			st.LastError = ep.lastErr.Error()
+		}
+		out = append(out, st)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Addr < out[j].Addr })
+	return out
+}
+
+// Stats returns the balancer's counters.
+func (b *Balancer) Stats() Stats {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return Stats{
+		Picks:          b.picks,
+		NoHealthy:      b.noHealthy,
+		Ejections:      b.ejections,
+		Reinstatements: b.reinstatements,
+	}
+}
+
+// Healthy returns how many endpoints are currently in rotation.
+func (b *Balancer) Healthy() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	n := 0
+	for _, ep := range b.eps {
+		if !ep.ejected {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,386 @@
+package balance
+
+// Seeded deterministic balancer unit tests: every assertion here is
+// exact under a fixed seed — no wall-clock sleeps, no tolerance bands
+// beyond the consistent-hash variance bound the ring's replica count
+// guarantees.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"testing"
+
+	"nrmi/internal/transport"
+)
+
+func addrs(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("s%d", i)
+	}
+	return out
+}
+
+func mustNew(t *testing.T, eps []string, opts Options) *Balancer {
+	t.Helper()
+	b, err := New(eps, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// assignAll maps keys 0..k-1 to their picked endpoint without reserving
+// in-flight slots (Pick then Done, no error).
+func assignAll(t *testing.T, b *Balancer, k int) map[uint64]string {
+	t.Helper()
+	out := make(map[uint64]string, k)
+	for key := uint64(0); key < uint64(k); key++ {
+		addr, err := b.Pick(key)
+		if err != nil {
+			t.Fatalf("Pick(%d): %v", key, err)
+		}
+		b.Done(addr, nil)
+		out[key] = addr
+	}
+	return out
+}
+
+// TestConsistentHashRemapOnJoin: adding one server to an n-server fleet
+// must remap about K/(n+1) keys and leave every other key on its old
+// server. The tolerance (2×) covers ring variance at 128 replicas.
+func TestConsistentHashRemapOnJoin(t *testing.T) {
+	const K = 10_000
+	eps := addrs(4)
+	b := mustNew(t, eps, Options{Policy: ConsistentHash, Seed: 1})
+	before := assignAll(t, b, K)
+	if err := b.Add("s4"); err != nil {
+		t.Fatal(err)
+	}
+	after := assignAll(t, b, K)
+	remapped, toNew := 0, 0
+	for key, addr := range after {
+		if addr != before[key] {
+			remapped++
+			if addr == "s4" {
+				toNew++
+			}
+		}
+	}
+	if remapped == 0 {
+		t.Fatal("no keys moved to the new server")
+	}
+	if limit := 2 * K / 5; remapped > limit {
+		t.Fatalf("join remapped %d of %d keys, want ≤ ~K/n (limit %d)", remapped, K, limit)
+	}
+	// Consistent hashing's defining property: a join only moves keys
+	// *onto* the new server, never between old ones.
+	if remapped != toNew {
+		t.Fatalf("%d keys moved between old servers on a join (total remapped %d)", remapped-toNew, remapped)
+	}
+}
+
+// TestConsistentHashRemapOnLeave: removing a server must remap exactly
+// the keys it owned; every other key keeps its assignment.
+func TestConsistentHashRemapOnLeave(t *testing.T) {
+	const K = 10_000
+	b := mustNew(t, addrs(4), Options{Policy: ConsistentHash, Seed: 1})
+	before := assignAll(t, b, K)
+	owned := 0
+	for _, addr := range before {
+		if addr == "s2" {
+			owned++
+		}
+	}
+	if owned == 0 {
+		t.Fatal("victim server owned no keys; ring is degenerate")
+	}
+	if limit := 2 * K / 4; owned > limit {
+		t.Fatalf("victim owned %d of %d keys; ring badly imbalanced", owned, K)
+	}
+	if err := b.Remove("s2"); err != nil {
+		t.Fatal(err)
+	}
+	after := assignAll(t, b, K)
+	for key, addr := range before {
+		if addr == "s2" {
+			if after[key] == "s2" {
+				t.Fatalf("key %d still routed to the removed server", key)
+			}
+			continue
+		}
+		if after[key] != addr {
+			t.Fatalf("key %d moved %s→%s although its server never left", key, addr, after[key])
+		}
+	}
+}
+
+// TestConsistentHashEjectionSpreadsToSuccessors: with an endpoint
+// ejected, its keys spread over the remaining servers (ring-successor
+// walk) and return home after reinstatement.
+func TestConsistentHashEjectionFailsOver(t *testing.T) {
+	const K = 2_000
+	b := mustNew(t, addrs(3), Options{Policy: ConsistentHash, Seed: 1, FailAfter: 1, ReviveAfter: 1,
+		Prober: func(context.Context, string) error { return nil }})
+	before := assignAll(t, b, K)
+
+	const victim = "s1"
+	bEject(t, b, victim)
+
+	during := assignAll(t, b, K)
+	for key, was := range before {
+		if was != victim && during[key] != was {
+			t.Fatalf("key %d moved %s→%s during an unrelated ejection", key, was, during[key])
+		}
+		if was == victim && during[key] == victim {
+			t.Fatalf("key %d still routed to the ejected server", key)
+		}
+	}
+	if n := b.Probe(context.Background()); n != 1 {
+		t.Fatalf("Probe reinstated %d endpoints, want 1", n)
+	}
+	after := assignAll(t, b, K)
+	for key, was := range before {
+		if after[key] != was {
+			t.Fatalf("key %d did not return home after reinstatement (%s→%s)", key, was, after[key])
+		}
+	}
+}
+
+// bEject drives addr over the ejection threshold with synthetic faults.
+func bEject(t *testing.T, b *Balancer, addr string) {
+	t.Helper()
+	for i := 0; i < b.opts.FailAfter; i++ {
+		b.mu.Lock()
+		ep := b.eps[addr]
+		ep.inFlight++
+		b.mu.Unlock()
+		b.Done(addr, &transport.CallError{Phase: transport.PhaseSend, Err: io.ErrClosedPipe})
+	}
+	for _, st := range b.Endpoints() {
+		if st.Addr == addr && !st.Ejected {
+			t.Fatalf("%s not ejected after %d faults", addr, b.opts.FailAfter)
+		}
+	}
+}
+
+// TestLeastLoadedPrefersIdleEndpoint: the policy must route around
+// loaded endpoints regardless of the RNG.
+func TestLeastLoadedPrefersIdleEndpoint(t *testing.T) {
+	b := mustNew(t, addrs(3), Options{Policy: LeastLoaded, Seed: 7})
+	// Occupy s0 and s1 with one in-flight call each.
+	busy := map[string]bool{}
+	for i := 0; i < 2; i++ {
+		addr, err := b.Pick(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if busy[addr] {
+			t.Fatalf("least-loaded picked busy endpoint %s while an idle one existed", addr)
+		}
+		busy[addr] = true
+	}
+	// All three now tie at... no: two have 1 in flight, one has 0.
+	addr, err := b.Pick(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if busy[addr] {
+		t.Fatalf("third pick chose busy endpoint %s, want the idle one", addr)
+	}
+}
+
+// TestLeastLoadedTieBreakSeeded: with all endpoints equally loaded the
+// tie-break is a seeded draw — the same seed replays the same pick
+// sequence, a different seed diverges.
+func TestLeastLoadedTieBreakSeeded(t *testing.T) {
+	sequence := func(seed int64) []string {
+		b := mustNew(t, addrs(4), Options{Policy: LeastLoaded, Seed: seed})
+		var out []string
+		for i := 0; i < 64; i++ {
+			addr, err := b.Pick(0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b.Done(addr, nil) // release immediately: every pick is an all-way tie
+			out = append(out, addr)
+		}
+		return out
+	}
+	a, b2, c := sequence(11), sequence(11), sequence(12)
+	for i := range a {
+		if a[i] != b2[i] {
+			t.Fatalf("same seed diverged at pick %d: %s vs %s", i, a[i], b2[i])
+		}
+	}
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced an identical 64-pick tie-break sequence")
+	}
+}
+
+// TestEjectionAfterConsecutiveFaults pins the ejection threshold
+// semantics: FailAfter-1 faults keep the endpoint in rotation, a success
+// resets the count, and only FailAfter *consecutive* faults eject.
+func TestEjectionAfterConsecutiveFaults(t *testing.T) {
+	fault := &transport.CallError{Phase: transport.PhaseAwait, Sent: true, Err: io.ErrUnexpectedEOF}
+	b := mustNew(t, []string{"solo"}, Options{FailAfter: 3})
+	hit := func(err error) {
+		t.Helper()
+		addr, perr := b.Pick(1)
+		if perr != nil {
+			t.Fatalf("Pick: %v", perr)
+		}
+		b.Done(addr, err)
+	}
+	hit(fault)
+	hit(fault)
+	hit(nil) // success resets the streak
+	hit(fault)
+	hit(fault)
+	if st := b.Endpoints()[0]; st.Ejected {
+		t.Fatalf("ejected after a broken fault streak: %+v", st)
+	}
+	hit(fault)
+	st := b.Endpoints()[0]
+	if !st.Ejected {
+		t.Fatalf("not ejected after 3 consecutive faults: %+v", st)
+	}
+	if st.LastError == "" {
+		t.Fatal("ejection recorded no cause")
+	}
+	if _, err := b.Pick(1); !errors.Is(err, ErrNoHealthyEndpoint) {
+		t.Fatalf("Pick with the whole fleet ejected returned %v, want ErrNoHealthyEndpoint", err)
+	}
+}
+
+// TestReinstatementAfterConsecutiveProbeSuccesses: an ejected endpoint
+// returns after exactly ReviveAfter consecutive successful probes, and a
+// failed probe resets the streak.
+func TestReinstatementAfterConsecutiveProbeSuccesses(t *testing.T) {
+	probeErr := errors.New("still dead")
+	var script []error // per-probe outcomes, consumed in order
+	b := mustNew(t, []string{"s0", "s1"}, Options{FailAfter: 1, ReviveAfter: 3,
+		Prober: func(_ context.Context, addr string) error {
+			if len(script) == 0 {
+				t.Fatal("unexpected probe")
+			}
+			err := script[0]
+			script = script[1:]
+			return err
+		}})
+	bEject(t, b, "s1")
+	if got := b.Healthy(); got != 1 {
+		t.Fatalf("healthy = %d after ejection, want 1", got)
+	}
+
+	ctx := context.Background()
+	// ok, ok, fail: streak broken at 2 of 3 — still ejected.
+	script = []error{nil, nil, probeErr}
+	for i := 0; i < 3; i++ {
+		if n := b.Probe(ctx); n != 0 {
+			t.Fatalf("probe %d reinstated early", i)
+		}
+	}
+	if got := b.Endpoints()[1]; !got.Ejected || got.LastError != "still dead" {
+		t.Fatalf("after broken probe streak: %+v", got)
+	}
+	// Three consecutive successes reinstate on the third.
+	script = []error{nil, nil, nil}
+	total := 0
+	for i := 0; i < 3; i++ {
+		total += b.Probe(ctx)
+	}
+	if total != 1 {
+		t.Fatalf("reinstatements = %d, want 1", total)
+	}
+	if got := b.Healthy(); got != 2 {
+		t.Fatalf("healthy = %d after reinstatement, want 2", got)
+	}
+	if st := b.Stats(); st.Ejections != 1 || st.Reinstatements != 1 {
+		t.Fatalf("stats = %+v, want 1 ejection and 1 reinstatement", st)
+	}
+	// A healthy fleet is never probed.
+	script = nil
+	if n := b.Probe(ctx); n != 0 {
+		t.Fatal("probe of a healthy fleet did something")
+	}
+}
+
+// TestEndpointFaultClassification pins the health decision table.
+func TestEndpointFaultClassification(t *testing.T) {
+	cases := []struct {
+		name string
+		err  error
+		want bool
+	}{
+		{"nil", nil, false},
+		{"application error", &transport.RemoteError{Msg: "no"}, false},
+		{"caller cancelled", &transport.CallError{Phase: transport.PhaseAwait, Sent: true, Err: context.Canceled}, false},
+		{"overloaded (alive, shedding)", &transport.StatusError{Code: transport.StatusOverloaded, Msg: "full"}, false},
+		{"server-side deadline (alive)", &transport.StatusError{Code: transport.StatusCancelled, Msg: "expired"}, false},
+		{"unavailable (draining)", &transport.StatusError{Code: transport.StatusUnavailable, Msg: "bye"}, true},
+		{"attempt timeout", &transport.CallError{Phase: transport.PhaseAwait, Sent: true, Err: context.DeadlineExceeded}, true},
+		{"conn closed", &transport.CallError{Phase: transport.PhaseSend, Err: transport.ErrClosed}, true},
+		{"dial failure", io.ErrClosedPipe, true},
+	}
+	for _, tc := range cases {
+		if got := EndpointFault(tc.err); got != tc.want {
+			t.Errorf("EndpointFault(%s) = %t, want %t", tc.name, got, tc.want)
+		}
+	}
+}
+
+// TestPickExcludingSkipsTriedEndpoints: the failover path must not
+// re-pick an endpoint that already failed this logical call, and reports
+// ErrNoHealthyEndpoint once every endpoint was tried.
+func TestPickExcludingSkipsTriedEndpoints(t *testing.T) {
+	for _, policy := range []PolicyKind{ConsistentHash, LeastLoaded} {
+		t.Run(policy.String(), func(t *testing.T) {
+			b := mustNew(t, addrs(3), Options{Policy: policy, Seed: 5})
+			tried := map[string]bool{}
+			for i := 0; i < 3; i++ {
+				addr, err := b.PickExcluding(99, tried)
+				if err != nil {
+					t.Fatalf("attempt %d: %v", i, err)
+				}
+				if tried[addr] {
+					t.Fatalf("attempt %d re-picked %s", i, addr)
+				}
+				tried[addr] = true
+				b.Done(addr, nil)
+			}
+			if _, err := b.PickExcluding(99, tried); !errors.Is(err, ErrNoHealthyEndpoint) {
+				t.Fatalf("all-excluded pick returned %v", err)
+			}
+		})
+	}
+}
+
+// TestMembershipValidation pins constructor/mutation errors.
+func TestMembershipValidation(t *testing.T) {
+	if _, err := New(nil, Options{}); err == nil {
+		t.Fatal("empty fleet accepted")
+	}
+	if _, err := New([]string{"a", "a"}, Options{}); !errors.Is(err, ErrDuplicateEndpoint) {
+		t.Fatalf("duplicate fleet accepted: %v", err)
+	}
+	b := mustNew(t, []string{"a"}, Options{})
+	if err := b.Add("a"); !errors.Is(err, ErrDuplicateEndpoint) {
+		t.Fatalf("duplicate Add: %v", err)
+	}
+	if err := b.Remove("zz"); !errors.Is(err, ErrUnknownEndpoint) {
+		t.Fatalf("unknown Remove: %v", err)
+	}
+	// Done for a removed endpoint must be a harmless no-op (calls can
+	// still be in flight when membership changes).
+	b.Done("zz", nil)
+}

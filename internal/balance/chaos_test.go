@@ -1,0 +1,241 @@
+package balance
+
+// Fleet-under-chaos suite: four in-process servers over netsim, one
+// severed mid-run at a seed-chosen point. The properties: the balancer
+// ejects the dead server within the health window (FailAfter faults, no
+// more), no logical call fails while healthy replicas remain (failover
+// absorbs the outage), and after the link heals the server is probed
+// back into rotation and serves again. Every schedule derives from a
+// logged seed; CHAOS_SEED=<seed> go test -run TestFleetChaos replays one.
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"os"
+	"strconv"
+	"sync"
+	"testing"
+	"time"
+
+	"nrmi/internal/core"
+	"nrmi/internal/netsim"
+	"nrmi/internal/rmi"
+	"nrmi/internal/wire"
+)
+
+// fleetService is the replicated object: it answers with its replica's
+// name and counts calls, the oracle for routing assertions.
+type fleetService struct {
+	name  string
+	mu    sync.Mutex
+	calls int
+}
+
+// Who returns the serving replica's name.
+func (s *fleetService) Who() string {
+	s.mu.Lock()
+	s.calls++
+	s.mu.Unlock()
+	return s.name
+}
+
+// Calls reports how many calls this replica served.
+func (s *fleetService) Calls() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.calls
+}
+
+// fleetEnv is a client plus n servers on one faultable network.
+type fleetEnv struct {
+	net    *netsim.Network
+	client *rmi.Client
+	svcs   map[string]*fleetService
+	addrs  []string
+}
+
+func newFleetEnv(t *testing.T, n int) *fleetEnv {
+	t.Helper()
+	opts := rmi.Options{Core: core.Options{Registry: wire.NewRegistry()}, CallTimeout: 500 * time.Millisecond}
+	nw := netsim.NewNetwork(netsim.Loopback())
+	t.Cleanup(func() { nw.Close() })
+	env := &fleetEnv{net: nw, svcs: make(map[string]*fleetService, n)}
+	for i := 0; i < n; i++ {
+		addr := fmt.Sprintf("s%d", i)
+		srv, err := rmi.NewServer(addr, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		svc := &fleetService{name: addr}
+		if err := srv.Export("svc", svc); err != nil {
+			t.Fatal(err)
+		}
+		ln, err := nw.Listen(addr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv.Serve(ln)
+		t.Cleanup(func() { srv.Close() })
+		env.svcs[addr] = svc
+		env.addrs = append(env.addrs, addr)
+	}
+	cl, err := rmi.NewClient(nw.Dial, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { cl.Close() })
+	env.client = cl
+	return env
+}
+
+// fleetSeeds mirrors the rmi chaos suite's seed policy.
+func fleetSeeds(t *testing.T) []int64 {
+	seeds := []int64{1, 7, 42, 1337, 99991}
+	if s := os.Getenv("CHAOS_SEED"); s != "" {
+		v, err := strconv.ParseInt(s, 10, 64)
+		if err != nil {
+			t.Fatalf("CHAOS_SEED=%q: %v", s, err)
+		}
+		t.Logf("appending CHAOS_SEED=%d", v)
+		seeds = append(seeds, v)
+	}
+	return seeds
+}
+
+func TestFleetChaosSeveredServerEjectedAndReinstated(t *testing.T) {
+	const (
+		fleetSize = 4
+		failAfter = 3
+		phaseLen  = 40
+	)
+	for _, seed := range fleetSeeds(t) {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			t.Parallel()
+			t.Logf("fault-plan seed %d (replay: CHAOS_SEED=%d go test -run TestFleetChaos)", seed, seed)
+			rng := rand.New(rand.NewSource(seed))
+			env := newFleetEnv(t, fleetSize)
+			b, err := New(env.addrs, Options{
+				Policy: ConsistentHash, Seed: seed,
+				FailAfter: failAfter, ReviveAfter: 2,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			fs := NewFleetStub(env.client, b, "svc")
+			ctx := context.Background()
+
+			call := func(key uint64) (string, error) {
+				rets, err := fs.Call(ctx, key, "Who")
+				if err != nil {
+					return "", err
+				}
+				return rets[0].(string), nil
+			}
+
+			// Phase 1: healthy fleet. Every call lands, and a key is served
+			// by the same replica every time (cache affinity).
+			keys := make([]uint64, phaseLen)
+			owner := make(map[uint64]string, phaseLen)
+			for i := range keys {
+				keys[i] = rng.Uint64()
+				who, err := call(keys[i])
+				if err != nil {
+					t.Fatalf("healthy-fleet call %d failed: %v", i, err)
+				}
+				owner[keys[i]] = who
+			}
+			for _, key := range keys {
+				if who, err := call(key); err != nil || who != owner[key] {
+					t.Fatalf("key %d bounced replicas on a stable fleet: %s → %s (%v)", key, owner[key], who, err)
+				}
+			}
+
+			// Sever one seed-chosen server mid-run.
+			victim := env.addrs[rng.Intn(fleetSize)]
+			env.net.Partition("", victim)
+			t.Logf("seed %d: severed %s", seed, victim)
+
+			// Phase 2: the outage is absorbed. Failover masks every fault
+			// (healthy replicas remain), so the logical error rate is zero.
+			failed := 0
+			for i := 0; i < phaseLen; i++ {
+				who, err := call(rng.Uint64())
+				if err != nil {
+					failed++
+					continue
+				}
+				if who == victim {
+					t.Fatalf("severed server %s answered a call", victim)
+				}
+			}
+			if failed != 0 {
+				t.Fatalf("%d/%d logical calls failed during single-server outage; failover must absorb it", failed, phaseLen)
+			}
+
+			// Ejection happened within the health window: exactly FailAfter
+			// faults were charged before the victim left rotation.
+			if got := b.Healthy(); got != fleetSize-1 {
+				t.Fatalf("healthy = %d after severing one of %d, want %d", got, fleetSize, fleetSize-1)
+			}
+			for _, st := range b.Endpoints() {
+				if st.Addr != victim {
+					if st.Ejected {
+						t.Fatalf("healthy server %s ejected: %+v", st.Addr, st)
+					}
+					continue
+				}
+				if !st.Ejected {
+					t.Fatalf("victim %s not ejected: %+v", victim, st)
+				}
+				if st.Faults != failAfter {
+					t.Fatalf("victim charged %d faults before ejection, want exactly %d (the health window)", st.Faults, failAfter)
+				}
+				if st.LastError == "" {
+					t.Fatalf("victim ejected without a recorded cause")
+				}
+			}
+
+			// Phase 3: heal, probe back in (ReviveAfter consecutive
+			// successes), and verify the victim serves again.
+			env.net.Heal("", victim)
+			if n := b.Probe(ctx); n != 0 {
+				t.Fatalf("first probe after heal reinstated %d, want 0 (ReviveAfter=2)", n)
+			}
+			if n := b.Probe(ctx); n != 1 {
+				t.Fatalf("second probe after heal reinstated %d, want 1", n)
+			}
+			if got := b.Healthy(); got != fleetSize {
+				t.Fatalf("healthy = %d after reinstatement, want %d", got, fleetSize)
+			}
+			servedBefore := env.svcs[victim].Calls()
+			for _, key := range keys {
+				who, err := call(key)
+				if err != nil {
+					t.Fatalf("post-heal call failed: %v", err)
+				}
+				if who != owner[key] {
+					t.Fatalf("key %d did not return to its owner after reinstatement: %s → %s", key, owner[key], who)
+				}
+			}
+			if env.svcs[victim].Calls() == servedBefore && contains(owner, victim) {
+				t.Fatalf("reinstated server %s never served again", victim)
+			}
+			st := b.Stats()
+			if st.Ejections != 1 || st.Reinstatements != 1 || st.NoHealthy != 0 {
+				t.Fatalf("balancer stats %+v, want exactly one ejection, one reinstatement, no routing dead-ends", st)
+			}
+		})
+	}
+}
+
+// contains reports whether any key is owned by addr.
+func contains(owner map[uint64]string, addr string) bool {
+	for _, a := range owner {
+		if a == addr {
+			return true
+		}
+	}
+	return false
+}

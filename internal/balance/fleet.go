@@ -1,0 +1,73 @@
+package balance
+
+import (
+	"context"
+	"fmt"
+
+	"nrmi/internal/rmi"
+)
+
+// FleetStub addresses one exported object replicated across a fleet of
+// servers, routing each call through a Balancer over the rmi client's
+// per-address pooled connections. It is the fleet counterpart of
+// rmi.Stub: same call surface, plus a routing key.
+type FleetStub struct {
+	c      *rmi.Client
+	b      *Balancer
+	object string
+	// maxAttempts bounds one logical call's endpoint attempts (first try
+	// plus failovers).
+	maxAttempts int
+}
+
+// NewFleetStub returns a fleet stub for the named export. A logical call
+// tries at most one attempt per fleet endpoint. If the balancer has no
+// prober configured, the client's transport ping is installed, so
+// ejected endpoints heal through the same pooled connections the calls
+// use.
+func NewFleetStub(c *rmi.Client, b *Balancer, object string) *FleetStub {
+	b.mu.Lock()
+	if b.opts.Prober == nil {
+		b.opts.Prober = func(ctx context.Context, addr string) error {
+			return c.Ping(ctx, addr)
+		}
+	}
+	n := len(b.eps)
+	b.mu.Unlock()
+	return &FleetStub{c: c, b: b, object: object, maxAttempts: n}
+}
+
+// Call invokes method on the fleet endpoint the balancer picks for key.
+// On an endpoint fault whose retry is safe under the rmi at-least-once
+// rules (rmi.Retryable — typed rejections and failures that provably
+// never touched the caller's graph), the call fails over to another
+// endpoint, excluding every endpoint already tried; application errors
+// and consumed-response failures surface immediately. Each attempt's
+// outcome feeds the balancer's health accounting.
+func (fs *FleetStub) Call(ctx context.Context, key uint64, method string, args ...any) ([]any, error) {
+	var lastErr error
+	tried := make(map[string]bool, 2)
+	for attempt := 0; attempt < fs.maxAttempts; attempt++ {
+		addr, err := fs.b.PickExcluding(key, tried)
+		if err != nil {
+			if lastErr != nil {
+				return nil, fmt.Errorf("%w (last attempt: %w)", err, lastErr)
+			}
+			return nil, err
+		}
+		rets, err := fs.c.Stub(addr, fs.object).Call(ctx, method, args...)
+		fs.b.Done(addr, err)
+		if err == nil {
+			return rets, nil
+		}
+		lastErr = err
+		tried[addr] = true
+		if !rmi.Retryable(err) || ctx.Err() != nil {
+			return nil, err
+		}
+	}
+	return nil, lastErr
+}
+
+// Balancer returns the stub's balancer, for health probing and metrics.
+func (fs *FleetStub) Balancer() *Balancer { return fs.b }

@@ -1,0 +1,95 @@
+package balance
+
+import (
+	"encoding/binary"
+	"hash/fnv"
+	"sort"
+	"strconv"
+)
+
+// ring is a consistent-hash ring: every endpoint owns Replicas points on
+// a 64-bit circle, a key maps to the first point clockwise from its hash.
+// The point set depends only on the endpoint names, so adding or removing
+// one endpoint remaps only the keys whose owning arc changed — about K/n
+// of K keys over n endpoints — while every other key keeps its server
+// (the property the cache-affinity story and the remap unit test rest
+// on).
+type ring struct {
+	points []ringPoint
+}
+
+type ringPoint struct {
+	hash uint64
+	addr string
+}
+
+// mix64 is a full-avalanche 64-bit finalizer (the MurmurHash3 fmix64
+// constants). FNV-1a alone leaves near-identical inputs — sequential
+// keys, "s0#1"/"s0#2" replica labels — in tight bands on the circle,
+// which collapses the whole ring onto one arc; the finalizer spreads
+// them uniformly. Deterministic across processes and runs, which the
+// seeded tests and cross-run capacity comparisons require.
+func mix64(x uint64) uint64 {
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	x *= 0xc4ceb9fe1a85ec53
+	x ^= x >> 33
+	return x
+}
+
+// hashKey positions a caller-supplied routing key on the circle.
+func hashKey(key uint64) uint64 {
+	h := fnv.New64a()
+	var b [8]byte
+	binary.BigEndian.PutUint64(b[:], key)
+	_, _ = h.Write(b[:])
+	return mix64(h.Sum64())
+}
+
+// hashPoint positions replica i of addr on the circle.
+func hashPoint(addr string, i int) uint64 {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(addr))
+	_, _ = h.Write([]byte("#"))
+	_, _ = h.Write([]byte(strconv.Itoa(i)))
+	return mix64(h.Sum64())
+}
+
+// buildRing constructs the ring over addrs with the given replica count.
+func buildRing(addrs []string, replicas int) ring {
+	r := ring{points: make([]ringPoint, 0, len(addrs)*replicas)}
+	for _, addr := range addrs {
+		for i := 0; i < replicas; i++ {
+			r.points = append(r.points, ringPoint{hash: hashPoint(addr, i), addr: addr})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		// Ties broken by name so the ring is a pure function of the
+		// endpoint set.
+		return r.points[i].addr < r.points[j].addr
+	})
+	return r
+}
+
+// pick returns the first endpoint clockwise from key for which ok
+// returns true, or "" when none qualifies. Walking past unhealthy
+// owners spreads an ejected endpoint's keys over its ring successors
+// instead of concentrating them on one neighbor.
+func (r ring) pick(key uint64, ok func(addr string) bool) string {
+	if len(r.points) == 0 {
+		return ""
+	}
+	h := hashKey(key)
+	start := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	for i := 0; i < len(r.points); i++ {
+		p := r.points[(start+i)%len(r.points)]
+		if ok(p.addr) {
+			return p.addr
+		}
+	}
+	return ""
+}

@@ -1,0 +1,265 @@
+// Package load is NRMI's open-loop load harness: a scheduler that fires
+// calls at a target rate on their *intended* start times and measures
+// latency from those intended times, so a stalled server shows up as the
+// queueing delay real users would see (coordinated omission awareness)
+// instead of being hidden by closed-loop back-pressure.
+//
+// The harness is built over a Clock abstraction with a deterministic
+// virtual implementation, so the scheduler itself is unit-testable: a
+// scripted run under VirtualClock produces bit-identical latency
+// recordings on every execution, with no wall-clock sleeps in assertions.
+package load
+
+import (
+	"context"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Clock is the time source the scheduler paces against. WallClock is the
+// production implementation; VirtualClock makes runs deterministic.
+type Clock interface {
+	// Now returns the current time on this clock.
+	Now() time.Time
+	// Sleep blocks until d has elapsed on this clock or ctx is done,
+	// returning ctx.Err() in the latter case.
+	Sleep(ctx context.Context, d time.Duration) error
+}
+
+// wallClock is the real time.Now/time.Timer clock.
+type wallClock struct{}
+
+// WallClock returns the real-time clock.
+func WallClock() Clock { return wallClock{} }
+
+func (wallClock) Now() time.Time { return time.Now() }
+
+func (wallClock) Sleep(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// VirtualClock is a deterministic Clock: time advances only when the test
+// (or a pump, see DriveSleepers) says so. Goroutines blocked in Sleep are
+// tracked, so a driver can wait for the system to quiesce and then jump
+// the clock to the earliest pending deadline — the standard discrete-event
+// pattern that makes scheduler tests exact and instantaneous.
+type VirtualClock struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	now     time.Time
+	waiters map[*vcWaiter]struct{}
+	// participants counts goroutines registered via enterParticipant that
+	// strictly alternate Sleep and work (the run's workers). DriveSleepers
+	// pumps when all of them are asleep, so workers that finish and exit
+	// mid-run shrink the quorum instead of stalling the pump.
+	participants int
+}
+
+type vcWaiter struct {
+	at time.Time
+	ch chan struct{}
+}
+
+// NewVirtualClock returns a virtual clock reading start.
+func NewVirtualClock(start time.Time) *VirtualClock {
+	vc := &VirtualClock{now: start, waiters: make(map[*vcWaiter]struct{})}
+	vc.cond = sync.NewCond(&vc.mu)
+	return vc
+}
+
+// Now implements Clock.
+func (vc *VirtualClock) Now() time.Time {
+	vc.mu.Lock()
+	defer vc.mu.Unlock()
+	return vc.now
+}
+
+// Sleep implements Clock: the calling goroutine becomes a tracked sleeper
+// until Advance moves the clock past its deadline or ctx is done.
+func (vc *VirtualClock) Sleep(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return ctx.Err()
+	}
+	vc.mu.Lock()
+	w := &vcWaiter{at: vc.now.Add(d), ch: make(chan struct{})}
+	vc.waiters[w] = struct{}{}
+	vc.cond.Broadcast()
+	vc.mu.Unlock()
+	select {
+	case <-w.ch:
+		return nil
+	case <-ctx.Done():
+		vc.mu.Lock()
+		delete(vc.waiters, w)
+		vc.cond.Broadcast()
+		vc.mu.Unlock()
+		return ctx.Err()
+	}
+}
+
+// Advance moves the clock forward by d, waking every sleeper whose
+// deadline has been reached.
+func (vc *VirtualClock) Advance(d time.Duration) {
+	vc.mu.Lock()
+	defer vc.mu.Unlock()
+	vc.setLocked(vc.now.Add(d))
+}
+
+// AdvanceToEarliest jumps the clock to the earliest pending sleeper
+// deadline and wakes exactly the sleepers due then. It reports whether
+// any sleeper was pending.
+func (vc *VirtualClock) AdvanceToEarliest() bool {
+	vc.mu.Lock()
+	defer vc.mu.Unlock()
+	var earliest time.Time
+	found := false
+	for w := range vc.waiters {
+		if !found || w.at.Before(earliest) {
+			earliest, found = w.at, true
+		}
+	}
+	if !found {
+		return false
+	}
+	if earliest.After(vc.now) {
+		vc.setLocked(earliest)
+	} else {
+		vc.setLocked(vc.now)
+	}
+	return true
+}
+
+// setLocked moves the clock to t and releases due sleepers in deadline
+// order (order only matters for observability; each release is a channel
+// close, so woken goroutines run concurrently regardless).
+func (vc *VirtualClock) setLocked(t time.Time) {
+	vc.now = t
+	due := make([]*vcWaiter, 0, len(vc.waiters))
+	for w := range vc.waiters {
+		if !w.at.After(vc.now) {
+			due = append(due, w)
+		}
+	}
+	sort.Slice(due, func(i, j int) bool { return due[i].at.Before(due[j].at) })
+	for _, w := range due {
+		delete(vc.waiters, w)
+		close(w.ch)
+	}
+	vc.cond.Broadcast()
+}
+
+// Sleepers reports how many goroutines are currently blocked in Sleep.
+func (vc *VirtualClock) Sleepers() int {
+	vc.mu.Lock()
+	defer vc.mu.Unlock()
+	return len(vc.waiters)
+}
+
+// WaitSleepers blocks until at least n goroutines are asleep on the clock
+// or ctx is done.
+func (vc *VirtualClock) WaitSleepers(ctx context.Context, n int) error {
+	stop := context.AfterFunc(ctx, func() {
+		vc.mu.Lock()
+		vc.cond.Broadcast()
+		vc.mu.Unlock()
+	})
+	defer stop()
+	vc.mu.Lock()
+	defer vc.mu.Unlock()
+	for len(vc.waiters) < n {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		vc.cond.Wait()
+	}
+	return nil
+}
+
+// enterParticipant registers the calling goroutine as a pump participant:
+// one of the goroutines DriveSleepers waits on before advancing the clock.
+// Must be paired with exitParticipant when the goroutine stops sleeping on
+// this clock for good — an unpaired enter stalls the pump forever.
+func (vc *VirtualClock) enterParticipant() {
+	vc.mu.Lock()
+	vc.participants++
+	vc.cond.Broadcast()
+	vc.mu.Unlock()
+}
+
+// exitParticipant deregisters a pump participant, shrinking the quorum
+// DriveSleepers waits for.
+func (vc *VirtualClock) exitParticipant() {
+	vc.mu.Lock()
+	vc.participants--
+	vc.cond.Broadcast()
+	vc.mu.Unlock()
+}
+
+// waitQuiesced blocks until the system has quiesced — every live
+// registered participant is asleep on the clock — or ctx is done. Before
+// any participant registers, at least min sleepers count as quiesced, so
+// the pump cannot advance an empty clock at startup.
+func (vc *VirtualClock) waitQuiesced(ctx context.Context, min int) error {
+	stop := context.AfterFunc(ctx, func() {
+		vc.mu.Lock()
+		vc.cond.Broadcast()
+		vc.mu.Unlock()
+	})
+	defer stop()
+	vc.mu.Lock()
+	defer vc.mu.Unlock()
+	for {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		quorum := vc.participants
+		if quorum <= 0 {
+			quorum = min
+		}
+		if len(vc.waiters) >= quorum {
+			return nil
+		}
+		vc.cond.Wait()
+	}
+}
+
+// DriveSleepers pumps the clock while fn runs: whenever every live
+// participant (registered via enterParticipant; load.Run's workers
+// register themselves) is asleep, the clock jumps to the earliest pending
+// deadline. Participants that finish and exit mid-run shrink the quorum,
+// so a run whose workers complete at different virtual times still
+// drains. Before any participant registers, min sleepers form the quorum.
+// With each participant strictly alternating Sleep and work, every run
+// replays the same discrete-event timeline. It returns fn's error.
+func (vc *VirtualClock) DriveSleepers(min int, fn func() error) error {
+	done := make(chan struct{})
+	var err error
+	go func() {
+		defer close(done)
+		err = fn()
+	}()
+	pumpCtx, cancel := context.WithCancel(context.Background())
+	go func() {
+		<-done
+		cancel()
+	}()
+	defer cancel()
+	for {
+		if werr := vc.waitQuiesced(pumpCtx, min); werr != nil {
+			<-done
+			return err
+		}
+		vc.AdvanceToEarliest()
+	}
+}

@@ -1,0 +1,102 @@
+package load
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestVirtualClockAdvanceWakesDueSleepers(t *testing.T) {
+	vc := NewVirtualClock(time.Unix(0, 0))
+	ctx := context.Background()
+	woke := make([]chan struct{}, 3)
+	var wg sync.WaitGroup
+	for i, d := range []time.Duration{10 * time.Millisecond, 20 * time.Millisecond, 30 * time.Millisecond} {
+		woke[i] = make(chan struct{})
+		wg.Add(1)
+		go func(i int, d time.Duration) {
+			defer wg.Done()
+			if err := vc.Sleep(ctx, d); err != nil {
+				t.Errorf("sleep %d: %v", i, err)
+			}
+			close(woke[i])
+		}(i, d)
+	}
+	if err := vc.WaitSleepers(ctx, 3); err != nil {
+		t.Fatal(err)
+	}
+	vc.Advance(20 * time.Millisecond)
+	// Sleepers 0 and 1 are due; 2 is not.
+	<-woke[0]
+	<-woke[1]
+	select {
+	case <-woke[2]:
+		t.Fatal("sleeper with a future deadline woke early")
+	default:
+	}
+	if got := vc.Sleepers(); got != 1 {
+		t.Fatalf("Sleepers() = %d, want 1", got)
+	}
+	vc.Advance(10 * time.Millisecond)
+	wg.Wait()
+	if got := vc.Now(); !got.Equal(time.Unix(0, 0).Add(30 * time.Millisecond)) {
+		t.Fatalf("Now() = %v after advances", got)
+	}
+}
+
+func TestVirtualClockAdvanceToEarliest(t *testing.T) {
+	vc := NewVirtualClock(time.Unix(0, 0))
+	if vc.AdvanceToEarliest() {
+		t.Fatal("AdvanceToEarliest with no sleepers must report false")
+	}
+	done := make(chan time.Time, 1)
+	go func() {
+		_ = vc.Sleep(context.Background(), 42*time.Millisecond)
+		done <- vc.Now()
+	}()
+	if err := vc.WaitSleepers(context.Background(), 1); err != nil {
+		t.Fatal(err)
+	}
+	if !vc.AdvanceToEarliest() {
+		t.Fatal("AdvanceToEarliest found no sleeper")
+	}
+	if at := <-done; !at.Equal(time.Unix(0, 0).Add(42 * time.Millisecond)) {
+		t.Fatalf("sleeper woke at %v, want start+42ms", at)
+	}
+}
+
+func TestVirtualClockSleepCancellation(t *testing.T) {
+	vc := NewVirtualClock(time.Unix(0, 0))
+	ctx, cancel := context.WithCancel(context.Background())
+	errc := make(chan error, 1)
+	go func() { errc <- vc.Sleep(ctx, time.Hour) }()
+	if err := vc.WaitSleepers(context.Background(), 1); err != nil {
+		t.Fatal(err)
+	}
+	cancel()
+	if err := <-errc; err != context.Canceled {
+		t.Fatalf("cancelled Sleep returned %v, want context.Canceled", err)
+	}
+	if got := vc.Sleepers(); got != 0 {
+		t.Fatalf("cancelled sleeper still registered (Sleepers() = %d)", got)
+	}
+}
+
+func TestVirtualClockZeroSleepReturnsImmediately(t *testing.T) {
+	vc := NewVirtualClock(time.Unix(0, 0))
+	if err := vc.Sleep(context.Background(), 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := vc.Sleep(context.Background(), -time.Second); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWallClockSleepHonorsContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := WallClock().Sleep(ctx, time.Hour); err != context.Canceled {
+		t.Fatalf("Sleep under a dead context returned %v", err)
+	}
+}

@@ -1,0 +1,201 @@
+package load
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"nrmi/internal/obs"
+)
+
+// Target is one unit of offered load: a single remote call. seq is the
+// call's global sequence number (0-based in intended-start order), usable
+// as a routing key or payload selector. The returned error marks the call
+// failed in the report; the target owns any retry/failover policy.
+type Target func(ctx context.Context, seq int64) error
+
+// Config describes one open-loop run.
+type Config struct {
+	// RPS is the aggregate target rate in calls per second. Required.
+	RPS float64
+	// Workers is the number of pacing workers the rate is striped over
+	// (worker w fires the calls with seq ≡ w mod Workers). Default 1.
+	// Workers bounds concurrency: if every worker is stuck in a call, no
+	// new call starts — but the missed intended start times still count,
+	// because latency is measured from them (see Report.Latency).
+	Workers int
+	// Warmup is how long calls are issued but excluded from measurement.
+	Warmup time.Duration
+	// Window is the measurement window following warmup. Required. A call
+	// is measured iff its intended start falls inside the window.
+	Window time.Duration
+	// Clock paces the run; nil means WallClock. Tests inject a
+	// VirtualClock for deterministic, instantaneous runs.
+	Clock Clock
+}
+
+func (c Config) withDefaults() (Config, error) {
+	if c.RPS <= 0 {
+		return c, errors.New("load: Config.RPS must be positive")
+	}
+	if c.Window <= 0 {
+		return c, errors.New("load: Config.Window must be positive")
+	}
+	if c.Warmup < 0 {
+		return c, errors.New("load: Config.Warmup must not be negative")
+	}
+	if c.Workers <= 0 {
+		c.Workers = 1
+	}
+	if c.Clock == nil {
+		c.Clock = WallClock()
+	}
+	return c, nil
+}
+
+// Report is the outcome of one run. Latency observations are nanoseconds
+// from each call's *intended* start time to its completion: service time
+// plus any scheduling delay the open-loop pacing could not absorb. That
+// is the coordinated-omission-aware number — a 500 ms server stall shows
+// up in every call scheduled during the stall, not only the one that hit
+// it.
+type Report struct {
+	// TargetRPS is the configured rate.
+	TargetRPS float64 `json:"target_rps"`
+	// Issued counts every call fired, warmup included.
+	Issued int64 `json:"issued"`
+	// Measured counts calls whose intended start fell in the window.
+	Measured int64 `json:"measured"`
+	// Errors counts measured calls that returned an error.
+	Errors int64 `json:"errors"`
+	// LateStarts counts measured calls that began more than one pacing
+	// interval after their intended start — the backlog indicator.
+	LateStarts int64 `json:"late_starts"`
+	// AchievedRPS is completed measured calls divided by the window.
+	AchievedRPS float64 `json:"achieved_rps"`
+	// Latency is the measured-window latency histogram (ns, from
+	// intended start).
+	Latency obs.HistSnapshot `json:"latency_ns"`
+}
+
+// ErrorRate returns Errors/Measured (0 for an empty report).
+func (r *Report) ErrorRate() float64 {
+	if r.Measured == 0 {
+		return 0
+	}
+	return float64(r.Errors) / float64(r.Measured)
+}
+
+// gen is the shared state of one run.
+type gen struct {
+	cfg          Config
+	target       Target
+	start        time.Time
+	measureStart time.Time
+	end          time.Time
+	interval     time.Duration
+
+	hist       obs.Hist
+	issued     atomic.Int64
+	measured   atomic.Int64
+	errs       atomic.Int64
+	lateStarts atomic.Int64
+}
+
+// intendedAt returns the intended start time of call seq. Computed from
+// the run start each time (not accumulated), so rounding never drifts.
+func (g *gen) intendedAt(seq int64) time.Time {
+	return g.start.Add(time.Duration(float64(seq) * float64(time.Second) / g.cfg.RPS))
+}
+
+// Run executes one open-loop run and reports it. The run issues calls
+// whose intended start times fall in [now, now+Warmup+Window), then waits
+// for in-flight calls to complete (or ctx to die). Run returns ctx's
+// error if the run was cut short, with the partial report.
+func Run(ctx context.Context, cfg Config, target Target) (*Report, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	if target == nil {
+		return nil, errors.New("load: nil Target")
+	}
+	g := &gen{cfg: cfg, target: target, start: cfg.Clock.Now()}
+	g.measureStart = g.start.Add(cfg.Warmup)
+	g.end = g.measureStart.Add(cfg.Window)
+	g.interval = time.Duration(float64(time.Second) / cfg.RPS)
+
+	var wg sync.WaitGroup
+	for w := 0; w < cfg.Workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			g.worker(ctx, int64(w))
+		}(w)
+	}
+	wg.Wait()
+
+	r := &Report{
+		TargetRPS:   cfg.RPS,
+		Issued:      g.issued.Load(),
+		Measured:    g.measured.Load(),
+		Errors:      g.errs.Load(),
+		LateStarts:  g.lateStarts.Load(),
+		AchievedRPS: float64(g.measured.Load()) / cfg.Window.Seconds(),
+		Latency:     g.hist.Snapshot(),
+	}
+	return r, ctx.Err()
+}
+
+// worker paces the calls with seq ≡ w mod Workers. Each call is fired as
+// close to its intended start as the worker's previous call allows; a
+// worker that falls behind fires immediately, never skipping a seq, so
+// every intended start is accounted for.
+func (g *gen) worker(ctx context.Context, w int64) {
+	clock := g.cfg.Clock
+	if vc, ok := clock.(*VirtualClock); ok {
+		vc.enterParticipant()
+		defer vc.exitParticipant()
+	}
+	stride := int64(g.cfg.Workers)
+	for seq := w; ; seq += stride {
+		intended := g.intendedAt(seq)
+		if !intended.Before(g.end) {
+			return
+		}
+		if d := intended.Sub(clock.Now()); d > 0 {
+			if err := clock.Sleep(ctx, d); err != nil {
+				return
+			}
+		}
+		if ctx.Err() != nil {
+			return
+		}
+		sent := clock.Now()
+		err := g.target(ctx, seq)
+		done := clock.Now()
+		g.issued.Add(1)
+		if intended.Before(g.measureStart) {
+			continue
+		}
+		g.measured.Add(1)
+		if err != nil {
+			g.errs.Add(1)
+		}
+		if sent.Sub(intended) > g.interval {
+			g.lateStarts.Add(1)
+		}
+		g.hist.Observe(int64(done.Sub(intended)))
+	}
+}
+
+// String summarizes a report in one line.
+func (r *Report) String() string {
+	return fmt.Sprintf("target %.0f rps: measured %d (%.0f rps achieved), errors %d (%.2f%%), p50 %v p99 %v p99.9 %v max %v, late %d",
+		r.TargetRPS, r.Measured, r.AchievedRPS, r.Errors, 100*r.ErrorRate(),
+		time.Duration(r.Latency.P50), time.Duration(r.Latency.P99),
+		time.Duration(r.Latency.Quantile(0.999)), time.Duration(r.Latency.Max), r.LateStarts)
+}

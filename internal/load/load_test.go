@@ -1,0 +1,256 @@
+package load
+
+// Virtual-clock scheduler tests. Every test here runs on a VirtualClock
+// under DriveSleepers, so the discrete-event timeline — and therefore
+// every recorded latency — is exact and identical on every run: no
+// wall-clock sleeps, no tolerance bands in the assertions.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// runScripted executes one deterministic run: cfg on a fresh virtual
+// clock, with per-call service time chosen by serviceTime(seq). The
+// number of pump participants is cfg.Workers (each worker strictly
+// alternates pacing sleeps and service sleeps).
+func runScripted(t *testing.T, cfg Config, serviceTime func(seq int64) time.Duration, fail func(seq int64) bool) *Report {
+	t.Helper()
+	vc := NewVirtualClock(time.Unix(0, 0))
+	cfg.Clock = vc
+	target := func(ctx context.Context, seq int64) error {
+		if d := serviceTime(seq); d > 0 {
+			if err := vc.Sleep(ctx, d); err != nil {
+				return err
+			}
+		}
+		if fail != nil && fail(seq) {
+			return errors.New("scripted failure")
+		}
+		return nil
+	}
+	var rep *Report
+	workers := cfg.Workers
+	if workers == 0 {
+		workers = 1
+	}
+	err := vc.DriveSleepers(workers, func() error {
+		var rerr error
+		rep, rerr = Run(context.Background(), cfg, target)
+		return rerr
+	})
+	if err != nil {
+		t.Fatalf("scripted run: %v", err)
+	}
+	return rep
+}
+
+// TestCoordinatedOmissionAccounting is the satellite's core property: a
+// 500 ms server stall mid-window must be charged to every call scheduled
+// behind it, measured from intended start times. The worker drains the
+// backlog at 9 ms net per call (10 ms pacing minus 1 ms service), so the
+// recorded latencies are exactly 500, 491, 482, … ms — a closed-loop
+// harness would have recorded the stall once and ~1 ms for everything
+// else.
+func TestCoordinatedOmissionAccounting(t *testing.T) {
+	cfg := Config{RPS: 100, Workers: 1, Warmup: 100 * time.Millisecond, Window: time.Second}
+	const stallSeq = 52
+	rep := runScripted(t, cfg, func(seq int64) time.Duration {
+		if seq == stallSeq {
+			return 500 * time.Millisecond
+		}
+		return time.Millisecond
+	}, nil)
+
+	if rep.Issued != 110 || rep.Measured != 100 {
+		t.Fatalf("issued/measured = %d/%d, want 110/100", rep.Issued, rep.Measured)
+	}
+	if rep.Errors != 0 {
+		t.Fatalf("errors = %d, want 0", rep.Errors)
+	}
+	// The stalled call itself: exactly its service time (it started on
+	// schedule).
+	if got := rep.Latency.Max; got != int64(500*time.Millisecond) {
+		t.Fatalf("max latency = %v, want exactly 500ms", time.Duration(got))
+	}
+	// The closed form over the whole window: 42 unaffected 1 ms calls
+	// before the stall, the 500 ms stall, the 55-call backlog drain at
+	// 500−9k ms, and 2 recovered 1 ms calls.
+	wantSum := int64(14_184 * time.Millisecond)
+	if got := rep.Latency.Sum; got != wantSum {
+		t.Fatalf("latency sum = %v, want exactly %v: queueing delay behind the stall is not being measured from intended starts",
+			time.Duration(got), time.Duration(wantSum))
+	}
+	// 54 calls began more than one pacing interval late — the backlog the
+	// open-loop schedule could not absorb.
+	if rep.LateStarts != 54 {
+		t.Fatalf("late starts = %d, want 54", rep.LateStarts)
+	}
+	// The median is dominated by the stall's queue: with closed-loop
+	// accounting it would be the 1 ms service time.
+	if p50 := rep.Latency.P50; p50 < int64(30*time.Millisecond) {
+		t.Fatalf("p50 = %v: the stall's backlog is invisible, accounting looks closed-loop", time.Duration(p50))
+	}
+}
+
+// TestRunDeterministicReplay pins that two identical scripted runs record
+// bit-identical histograms — the property every other assertion in this
+// file (and the chaos capacity numbers' reproducibility) rests on.
+func TestRunDeterministicReplay(t *testing.T) {
+	cfg := Config{RPS: 200, Workers: 1, Warmup: 50 * time.Millisecond, Window: 500 * time.Millisecond}
+	script := func(seq int64) time.Duration { return time.Duration(1+seq%7) * time.Millisecond }
+	a := runScripted(t, cfg, script, nil)
+	b := runScripted(t, cfg, script, nil)
+	if fmt.Sprintf("%+v", a) != fmt.Sprintf("%+v", b) {
+		t.Fatalf("identical scripted runs diverged:\n a=%+v\n b=%+v", a, b)
+	}
+}
+
+// TestWarmupExcludedFromMeasurement checks the window bookkeeping: calls
+// whose intended start falls in the warmup are issued but never measured,
+// and the window boundary is half-open on both ends.
+func TestWarmupExcludedFromMeasurement(t *testing.T) {
+	cfg := Config{RPS: 100, Workers: 1, Warmup: 200 * time.Millisecond, Window: 300 * time.Millisecond}
+	// Warmup calls are slow (15 ms at a 10 ms interval, so warmup ends
+	// 100 ms behind schedule), measured calls fast.
+	rep := runScripted(t, cfg, func(seq int64) time.Duration {
+		if seq < 20 {
+			return 15 * time.Millisecond
+		}
+		return 2 * time.Millisecond
+	}, nil)
+	if rep.Issued != 50 {
+		t.Fatalf("issued = %d, want 50 (20 warmup + 30 window)", rep.Issued)
+	}
+	if rep.Measured != 30 {
+		t.Fatalf("measured = %d, want 30", rep.Measured)
+	}
+	if got := rep.Latency.Count; got != 30 {
+		t.Fatalf("histogram count = %d, want 30", got)
+	}
+	// The last warmup call (seq 19, intended 190 ms, latency 110 ms)
+	// ends at 300 ms; seq 20 — the first measured call, intended 200 ms —
+	// queues behind it: latency exactly 102 ms. Warmup spill-over *into*
+	// the window is real queueing and must be measured; a leaked warmup
+	// call would raise the max to 110 ms.
+	if got := rep.Latency.Max; got != int64(102*time.Millisecond) {
+		t.Fatalf("max measured latency = %v, want exactly 102ms (warmup backlog charged to the first window call)", time.Duration(got))
+	}
+}
+
+// TestErrorAccounting checks that failures are counted against measured
+// calls only, and that latency is still recorded for failed calls (a
+// timeout costs its full latency; dropping it would be omission again).
+func TestErrorAccounting(t *testing.T) {
+	cfg := Config{RPS: 100, Workers: 1, Window: 500 * time.Millisecond}
+	rep := runScripted(t, cfg, func(seq int64) time.Duration { return 3 * time.Millisecond },
+		func(seq int64) bool { return seq%5 == 0 })
+	if rep.Measured != 50 {
+		t.Fatalf("measured = %d, want 50", rep.Measured)
+	}
+	if rep.Errors != 10 {
+		t.Fatalf("errors = %d, want 10 (every fifth call)", rep.Errors)
+	}
+	if got := rep.ErrorRate(); got != 0.2 {
+		t.Fatalf("error rate = %v, want 0.2", got)
+	}
+	if got := rep.Latency.Count; got != 50 {
+		t.Fatalf("failed calls dropped from the histogram: count = %d, want 50", got)
+	}
+}
+
+// TestMultiWorkerStriping checks the seq striping: with W workers every
+// sequence number is issued exactly once and the aggregate rate holds.
+func TestMultiWorkerStriping(t *testing.T) {
+	cfg := Config{RPS: 400, Workers: 4, Window: 250 * time.Millisecond}
+	var mu sync.Mutex
+	seen := make(map[int64]int)
+	vc := NewVirtualClock(time.Unix(0, 0))
+	cfg.Clock = vc
+	target := func(ctx context.Context, seq int64) error {
+		mu.Lock()
+		seen[seq]++
+		mu.Unlock()
+		return vc.Sleep(ctx, time.Millisecond)
+	}
+	var rep *Report
+	err := vc.DriveSleepers(cfg.Workers, func() error {
+		var rerr error
+		rep, rerr = Run(context.Background(), cfg, target)
+		return rerr
+	})
+	if err != nil {
+		t.Fatalf("multi-worker run: %v", err)
+	}
+	if rep.Issued != 100 || rep.Measured != 100 {
+		t.Fatalf("issued/measured = %d/%d, want 100/100", rep.Issued, rep.Measured)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(seen) != 100 {
+		t.Fatalf("distinct seqs = %d, want 100", len(seen))
+	}
+	for seq, n := range seen {
+		if n != 1 {
+			t.Fatalf("seq %d issued %d times", seq, n)
+		}
+	}
+}
+
+// TestRunContextCancellation checks that a dead context stops the run
+// promptly and surfaces as the returned error.
+func TestRunContextCancellation(t *testing.T) {
+	vc := NewVirtualClock(time.Unix(0, 0))
+	cfg := Config{RPS: 100, Workers: 1, Window: time.Hour, Clock: vc}
+	ctx, cancel := context.WithCancel(context.Background())
+	calls := 0
+	target := func(ctx context.Context, seq int64) error {
+		calls++
+		if calls == 3 {
+			cancel()
+		}
+		return nil
+	}
+	var rep *Report
+	err := vc.DriveSleepers(1, func() error {
+		var rerr error
+		rep, rerr = Run(ctx, cfg, target)
+		return rerr
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled run returned %v, want context.Canceled", err)
+	}
+	if rep == nil || rep.Issued != 3 {
+		t.Fatalf("cancelled run issued %+v calls, want 3", rep)
+	}
+}
+
+// TestSelfCheck runs the exported self-check (the load-smoke gate's first
+// step) — it must pass against the current scheduler.
+func TestSelfCheck(t *testing.T) {
+	if err := SelfCheck(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestConfigValidation pins the constructor errors.
+func TestConfigValidation(t *testing.T) {
+	ctx := context.Background()
+	nop := func(context.Context, int64) error { return nil }
+	if _, err := Run(ctx, Config{Window: time.Second}, nop); err == nil {
+		t.Fatal("zero RPS accepted")
+	}
+	if _, err := Run(ctx, Config{RPS: 1}, nop); err == nil {
+		t.Fatal("zero window accepted")
+	}
+	if _, err := Run(ctx, Config{RPS: 1, Window: time.Second, Warmup: -time.Second}, nop); err == nil {
+		t.Fatal("negative warmup accepted")
+	}
+	if _, err := Run(ctx, Config{RPS: 1, Window: time.Second}, nil); err == nil {
+		t.Fatal("nil target accepted")
+	}
+}

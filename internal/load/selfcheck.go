@@ -1,0 +1,72 @@
+package load
+
+import (
+	"context"
+	"fmt"
+	"time"
+)
+
+// SelfCheck runs the scripted stall scenario under a virtual clock and
+// verifies the scheduler's coordinated-omission accounting against exact
+// expected values. The load-smoke gate runs it before trusting any
+// capacity number: if the harness mismeasures its own scripted world, its
+// numbers against real servers mean nothing.
+//
+// The script: 100 calls/s on one worker, 100 ms warmup, 1 s window, every
+// call served in 1 ms except one mid-window call that stalls 500 ms.
+// Because latency is measured from intended start times, the stall must
+// bleed into every call scheduled behind it (500, 491, 482, … ms as the
+// worker drains the backlog at 9 ms net per call), and the exact latency
+// sum is a closed form. A closed-loop harness measuring from actual send
+// times would record the stall once and ~1 ms everywhere else — an order
+// of magnitude smaller sum — so the check fails loudly if the accounting
+// ever regresses to closed-loop.
+func SelfCheck() error {
+	const (
+		stallSeq   = 52
+		stall      = 500 * time.Millisecond
+		service    = time.Millisecond
+		wantSumNs  = int64(14_184 * time.Millisecond) // 42·1 + 500 + Σₖ₌₁⁵⁵(500−9k) + 2·1 ms
+		wantIssued = 110
+		wantMeas   = 100
+		wantLate   = 54
+	)
+	vc := NewVirtualClock(time.Unix(0, 0))
+	cfg := Config{RPS: 100, Workers: 1, Warmup: 100 * time.Millisecond, Window: time.Second, Clock: vc}
+	target := func(ctx context.Context, seq int64) error {
+		d := service
+		if seq == stallSeq {
+			d = stall
+		}
+		return vc.Sleep(ctx, d)
+	}
+	var rep *Report
+	err := vc.DriveSleepers(1, func() error {
+		var rerr error
+		rep, rerr = Run(context.Background(), cfg, target)
+		return rerr
+	})
+	if err != nil {
+		return fmt.Errorf("load: self-check run failed: %w", err)
+	}
+	if rep.Issued != wantIssued || rep.Measured != wantMeas {
+		return fmt.Errorf("load: self-check issued/measured = %d/%d, want %d/%d",
+			rep.Issued, rep.Measured, wantIssued, wantMeas)
+	}
+	if rep.Errors != 0 {
+		return fmt.Errorf("load: self-check recorded %d errors, want 0", rep.Errors)
+	}
+	if got := rep.Latency.Max; got != int64(stall) {
+		return fmt.Errorf("load: self-check max latency %v, want exactly %v (measured from intended start)",
+			time.Duration(got), stall)
+	}
+	if got := rep.Latency.Sum; got != wantSumNs {
+		return fmt.Errorf("load: self-check latency sum %v, want exactly %v — "+
+			"the stall's queueing delay is not being charged to the calls scheduled behind it",
+			time.Duration(got), time.Duration(wantSumNs))
+	}
+	if rep.LateStarts != wantLate {
+		return fmt.Errorf("load: self-check late starts = %d, want %d", rep.LateStarts, wantLate)
+	}
+	return nil
+}

@@ -55,6 +55,7 @@ type HistSnapshot struct {
 	P50     int64        `json:"p50"`
 	P90     int64        `json:"p90"`
 	P99     int64        `json:"p99"`
+	P999    int64        `json:"p999"`
 	Buckets []HistBucket `json:"buckets,omitempty"`
 }
 
@@ -96,6 +97,7 @@ func (h *Hist) Snapshot() HistSnapshot {
 	s.P50 = quantile(&counts, s.Count, s.Max, 0.50)
 	s.P90 = quantile(&counts, s.Count, s.Max, 0.90)
 	s.P99 = quantile(&counts, s.Count, s.Max, 0.99)
+	s.P999 = quantile(&counts, s.Count, s.Max, 0.999)
 	return s
 }
 

@@ -1,0 +1,66 @@
+package obs
+
+// Windowed percentile extraction. Histograms are cumulative for the life
+// of an Observer; load harnesses need percentiles over a measurement
+// window (post-warmup, pre-shutdown). Two snapshots bracket the window
+// and Sub produces the histogram of exactly the observations between
+// them, with quantiles recomputed from the differenced buckets.
+
+// Quantile approximates the q-quantile (0 ≤ q ≤ 1) from the snapshot's
+// buckets: the upper bound of the bucket containing the target rank,
+// clamped to the observed maximum. Approximation error is bounded by the
+// bucket width, as with the live histogram's P50/P90/P99 fields.
+func (s HistSnapshot) Quantile(q float64) int64 {
+	if s.Count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	rank := int64(q * float64(s.Count))
+	if rank >= s.Count {
+		rank = s.Count - 1
+	}
+	var cum int64
+	for _, b := range s.Buckets {
+		cum += b.Count
+		if cum > rank {
+			if b.Hi > s.Max {
+				return s.Max
+			}
+			return b.Hi
+		}
+	}
+	return s.Max
+}
+
+// Sub returns the histogram of the observations recorded between prev and
+// s, both snapshots of the same Hist with prev taken first. Count, Sum,
+// and per-bucket counts are exact differences; Max (and therefore the
+// quantile clamp) is the window's highest non-empty bucket bound, capped
+// at the cumulative maximum, since a cumulative histogram cannot say
+// whether its all-time maximum recurred inside the window.
+func (s HistSnapshot) Sub(prev HistSnapshot) HistSnapshot {
+	prevCount := make(map[int64]int64, len(prev.Buckets))
+	for _, b := range prev.Buckets {
+		prevCount[b.Lo] = b.Count
+	}
+	d := HistSnapshot{Count: s.Count - prev.Count, Sum: s.Sum - prev.Sum}
+	for _, b := range s.Buckets {
+		n := b.Count - prevCount[b.Lo]
+		if n <= 0 {
+			continue
+		}
+		d.Buckets = append(d.Buckets, HistBucket{Lo: b.Lo, Hi: b.Hi, Count: n})
+		if b.Hi < s.Max {
+			d.Max = b.Hi
+		} else {
+			d.Max = s.Max
+		}
+	}
+	d.P50 = d.Quantile(0.50)
+	d.P90 = d.Quantile(0.90)
+	d.P99 = d.Quantile(0.99)
+	d.P999 = d.Quantile(0.999)
+	return d
+}

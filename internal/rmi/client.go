@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"math/rand"
 	"net"
@@ -75,6 +76,10 @@ func (c *Client) conn(addr string) (*transport.Conn, error) {
 		if !tc.IsClosed() {
 			return tc, nil
 		}
+		// The health check failed: record *why* the connection died before
+		// discarding it, so operators can tell a peer restart from a
+		// partition from a local close when they read Metrics().
+		c.metrics.noteEviction(evictionCause(tc.Err()))
 		_ = tc.Close()
 		delete(c.conns, addr)
 		c.metrics.reconnects.Add(1)
@@ -339,6 +344,37 @@ func (c *Client) Renew(ctx context.Context, ref *RemoteRef, lease time.Duration)
 	p, err := tc.Call(ctx, transport.MsgDGC, buf.Bytes())
 	c.releasePayload(p)
 	return err
+}
+
+// evictionCause reduces a dead connection's terminal error to a stable,
+// low-cardinality label by unwrapping to the root sentinel — so a
+// wrapped "partitioned: a <-> b" and "partitioned: c <-> d" count under
+// one cause, not one per address pair.
+func evictionCause(err error) string {
+	if err == nil {
+		return "unknown"
+	}
+	for {
+		next := errors.Unwrap(err)
+		if next == nil {
+			return err.Error()
+		}
+		err = next
+	}
+}
+
+// ConnState reports on the pooled connection to addr: whether one is
+// pooled, how many of its calls are awaiting replies, and its health
+// (nil while usable, the terminal error once dead). A dead pooled
+// connection is reported as-is — eviction happens on the next call.
+func (c *Client) ConnState(addr string) (pooled bool, inFlight int, err error) {
+	c.mu.Lock()
+	tc, ok := c.conns[addr]
+	c.mu.Unlock()
+	if !ok {
+		return false, 0, nil
+	}
+	return true, tc.InFlight(), tc.Err()
 }
 
 // Ping round-trips a liveness probe to addr.

@@ -1,6 +1,7 @@
 package rmi
 
 import (
+	"sync"
 	"sync/atomic"
 
 	"nrmi/internal/transport"
@@ -19,6 +20,25 @@ type clientMetrics struct {
 	bytesSent        atomic.Int64
 	bytesReceived    atomic.Int64
 	payloadsReleased atomic.Int64
+
+	// evictions counts pooled connections discarded because the health
+	// check found them dead; evictionCauses tallies why, keyed by the
+	// root-cause label from evictionCause.
+	evictions atomic.Int64
+
+	causeMu        sync.Mutex
+	evictionCauses map[string]int64
+}
+
+// noteEviction records one dead-connection eviction and its cause.
+func (m *clientMetrics) noteEviction(cause string) {
+	m.evictions.Add(1)
+	m.causeMu.Lock()
+	if m.evictionCauses == nil {
+		m.evictionCauses = make(map[string]int64)
+	}
+	m.evictionCauses[cause]++
+	m.causeMu.Unlock()
 }
 
 // ClientMetrics is a point-in-time snapshot of a client's cumulative
@@ -54,13 +74,22 @@ type ClientMetrics struct {
 	// transport buffer pool — the ownership ledger the payload leak tests
 	// audit against.
 	PayloadsReleased int64
+	// Evictions counts pooled connections discarded because the health
+	// check found them dead. Every eviction is followed by a redial, so
+	// Evictions == Reconnects once all in-flight calls settle.
+	Evictions int64
+	// EvictionCauses tallies evictions by root cause ("EOF", "transport:
+	// connection closed", ...), so a fleet operator can tell peer
+	// restarts from partitions without scraping logs. Nil until the
+	// first eviction; the map is a copy and safe to retain.
+	EvictionCauses map[string]int64
 }
 
 // Metrics returns a snapshot of the client's counters. Counters are read
 // individually, so a snapshot taken during concurrent calls may be skewed
 // by in-flight updates, but each counter is itself exact and monotonic.
 func (c *Client) Metrics() ClientMetrics {
-	return ClientMetrics{
+	m := ClientMetrics{
 		CallsIssued:      c.metrics.calls.Load(),
 		CallErrors:       c.metrics.errors.Load(),
 		Attempts:         c.metrics.attempts.Load(),
@@ -70,7 +99,17 @@ func (c *Client) Metrics() ClientMetrics {
 		BytesSent:        c.metrics.bytesSent.Load(),
 		BytesReceived:    c.metrics.bytesReceived.Load(),
 		PayloadsReleased: c.metrics.payloadsReleased.Load(),
+		Evictions:        c.metrics.evictions.Load(),
 	}
+	c.metrics.causeMu.Lock()
+	if len(c.metrics.evictionCauses) > 0 {
+		m.EvictionCauses = make(map[string]int64, len(c.metrics.evictionCauses))
+		for cause, n := range c.metrics.evictionCauses {
+			m.EvictionCauses[cause] = n
+		}
+	}
+	c.metrics.causeMu.Unlock()
+	return m
 }
 
 // releasePayload returns a pooled reply payload to the transport pool and

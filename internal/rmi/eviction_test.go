@@ -1,0 +1,80 @@
+package rmi
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+// Regression test: a pooled connection found dead by the health check
+// used to be discarded with its terminal error thrown away. Eviction
+// must record the cause (and count) in Metrics, so operators can tell
+// why connections are churning.
+func TestEvictionRecordsCause(t *testing.T) {
+	e := newEnv(t)
+	ctx := context.Background()
+	stub := e.client.Stub("server", "trees")
+	if _, err := stub.Call(ctx, "Calls"); err != nil {
+		t.Fatal(err)
+	}
+
+	if pooled, inFlight, err := e.client.ConnState("server"); !pooled || inFlight != 0 || err != nil {
+		t.Fatalf("ConnState after a call = (%t, %d, %v), want pooled, idle, healthy", pooled, inFlight, err)
+	}
+	if pooled, _, _ := e.client.ConnState("nobody"); pooled {
+		t.Fatal("ConnState invented a connection to an address never dialed")
+	}
+	if m := e.client.Metrics(); m.Evictions != 0 || m.EvictionCauses != nil {
+		t.Fatalf("eviction counters non-zero before any eviction: %+v", m)
+	}
+
+	// Kill the server and wait for the pooled connection's read loop to
+	// observe the failure (ConnState surfaces the same health check the
+	// pool uses for eviction).
+	if err := e.server.Close(); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if _, _, err := e.client.ConnState("server"); err != nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("pooled connection never observed the server close")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	// The next call finds the dead connection, evicts it (recording the
+	// cause), and redials — which fails too, since nothing listens.
+	if _, err := stub.Call(ctx, "Calls"); err == nil {
+		t.Fatal("call against a dead server must fail")
+	}
+
+	m := e.client.Metrics()
+	if m.Evictions != 1 {
+		t.Fatalf("Evictions = %d, want 1", m.Evictions)
+	}
+	if m.Reconnects != m.Evictions {
+		t.Fatalf("Reconnects = %d but Evictions = %d; the pair must move together", m.Reconnects, m.Evictions)
+	}
+	if len(m.EvictionCauses) != 1 {
+		t.Fatalf("EvictionCauses = %v, want exactly one cause", m.EvictionCauses)
+	}
+	var total int64
+	for cause, n := range m.EvictionCauses {
+		if cause == "" || cause == "unknown" {
+			t.Fatalf("eviction recorded no real cause: %q", cause)
+		}
+		total += n
+	}
+	if total != m.Evictions {
+		t.Fatalf("cause tally %d != eviction count %d", total, m.Evictions)
+	}
+
+	// Snapshot isolation: mutating the returned map must not leak back.
+	m.EvictionCauses["tampered"] = 99
+	if m2 := e.client.Metrics(); len(m2.EvictionCauses) != 1 {
+		t.Fatalf("Metrics map is shared with callers: %v", m2.EvictionCauses)
+	}
+}

@@ -439,6 +439,16 @@ func (c *Conn) Err() error {
 	return ErrClosed
 }
 
+// InFlight returns the number of calls currently awaiting a reply on this
+// connection — the per-connection load signal the fleet balancer and the
+// load harness read. A closed connection reports 0: its pending calls
+// have all been failed.
+func (c *Conn) InFlight() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.pending)
+}
+
 // Call sends one request frame and blocks for its reply (or ctx
 // expiration). A ctx deadline additionally travels with the frame as the
 // call's remaining budget, so the server can abandon work this caller has

@@ -125,6 +125,48 @@ func TestCallAfterClose(t *testing.T) {
 	}
 }
 
+func TestInFlightTracksPendingCalls(t *testing.T) {
+	entered := make(chan struct{}, 3)
+	release := make(chan struct{})
+	c := startPair(t, func(_ context.Context, _ byte, payload []byte) ([]byte, error) {
+		entered <- struct{}{}
+		<-release
+		return payload, nil
+	})
+	if got := c.InFlight(); got != 0 {
+		t.Fatalf("idle conn reports %d in flight", got)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 3; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := c.Call(context.Background(), MsgCall, nil); err != nil {
+				t.Errorf("call: %v", err)
+			}
+		}()
+	}
+	// A handler entered means its request frame round-tripped, so the
+	// caller's pending entry is registered.
+	for i := 0; i < 3; i++ {
+		<-entered
+	}
+	if got := c.InFlight(); got != 3 {
+		t.Fatalf("in flight = %d with 3 blocked calls, want 3", got)
+	}
+	close(release)
+	wg.Wait()
+	if got := c.InFlight(); got != 0 {
+		t.Fatalf("in flight = %d after all replies, want 0", got)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.InFlight(); got != 0 {
+		t.Fatalf("closed conn reports %d in flight, want 0", got)
+	}
+}
+
 func TestServerCloseFailsInFlight(t *testing.T) {
 	n := netsim.NewNetwork(netsim.Loopback())
 	defer n.Close()
