@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race lint chaos soak cover bench bench-smoke obs-smoke load-smoke load-capacity phases tables verify-tables loc examples fuzz clean
+.PHONY: all build test race lint ci chaos soak cover bench bench-smoke obs-smoke load-smoke load-capacity phases tables verify-tables loc examples fuzz clean
 
 all: build test
 
@@ -21,6 +21,23 @@ lint:
 
 race:
 	$(GO) test -race ./...
+
+# One-shot CI pipeline (what .github/workflows/ci.yml runs): build, vet,
+# lint under a 30-second runtime budget (the dataflow checks must stay
+# cheap enough to gate every push), race tests, and a SARIF report for
+# the code-scanning artifact. nrmi-vet.sarif is written even on a clean
+# run (zero results) so the upload step never misses it.
+ci: build
+	@start=$$(date +%s); \
+	$(GO) run ./cmd/nrmi-vet ./... || exit 1; \
+	elapsed=$$(( $$(date +%s) - start )); \
+	echo "lint runtime: $${elapsed}s (budget: 30s)"; \
+	if [ $$elapsed -gt 30 ]; then \
+		echo "lint exceeded its 30s runtime budget" >&2; exit 1; \
+	fi
+	$(GO) test -race ./...
+	$(GO) run ./cmd/nrmi-vet -format sarif ./... > nrmi-vet.sarif
+	@echo "wrote nrmi-vet.sarif"
 
 # Chaos suite: the five fixed fault-plan seeds, plus one fresh seed derived
 # from the clock. The seed is printed so any failure replays exactly with
@@ -101,4 +118,4 @@ fuzz:
 	$(GO) test -fuzz=FuzzDecode -fuzztime=30s ./internal/wire/
 
 clean:
-	rm -f cover.out test_output.txt bench_output.txt
+	rm -f cover.out test_output.txt bench_output.txt nrmi-vet.sarif

@@ -89,6 +89,7 @@ func main() {
 		ServiceMs:    float64(*service) / 1e6,
 		ConcPerSrv:   *conc,
 		Seed:         *seed,
+		SingleHost:   true,
 	}
 	for _, n := range sizes {
 		fc := findCapacity(n, cfg, *startRPS, *maxRPS, *maxProbes)
@@ -153,7 +154,11 @@ type capacityReport struct {
 	ServiceMs    float64         `json:"service_ms"`
 	ConcPerSrv   int             `json:"conc_per_server"`
 	Seed         int64           `json:"seed"`
-	Fleets       []fleetCapacity `json:"fleets"`
+	// SingleHost records that every fleet shares one machine's cores with
+	// the load generator, so multi-server points measure the balancer and
+	// admission control, not linear hardware scaling.
+	SingleHost bool            `json:"single_host"`
+	Fleets     []fleetCapacity `json:"fleets"`
 }
 
 // runProbe offers rps against a fresh n-server fleet and grades the

@@ -79,6 +79,7 @@ func runLoadSmoke(cfg harnessConfig) error {
 		SLOP99Ms: float64(cfg.SLO) / 1e6, MaxErrorRate: cfg.MaxErrorRate,
 		WarmupMs: float64(warmup) / 1e6, WindowMs: float64(window) / 1e6,
 		Workers: cfg.Workers, ServiceMs: 0, ConcPerSrv: cfg.Conc, Seed: cfg.Seed,
+		SingleHost: true,
 		Fleets: []fleetCapacity{{
 			Servers: fleetSize, MaxRPS: rps, Saturated: false,
 			P99MsAtMax:     float64(rep.Latency.P99) / 1e6,

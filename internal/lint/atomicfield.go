@@ -1,0 +1,154 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// checkAtomicDiscipline implements the atomic-discipline check: a
+// variable or struct field that is ever accessed through sync/atomic is
+// part of a lock-free protocol, and every other access must go through
+// sync/atomic too — a single plain read or write reintroduces the data
+// race the atomic was bought to prevent, and the race detector only
+// catches it if a test happens to hit the interleaving. The obs
+// histograms and metrics counters are the repo's protocol users; they
+// moved to typed atomics (atomic.Int64) precisely to make this class of
+// mistake unrepresentable, and this check guards the remaining places
+// where the typed forms don't fit.
+//
+// The analysis is whole-package and flow-insensitive (a race does not
+// care what path the plain access is on): pass one collects every
+// variable and field whose address is taken into a sync/atomic call;
+// pass two flags every other access. Composite-literal initialization
+// is exempt — construction happens before the value is shared.
+func checkAtomicDiscipline(p *Package) []Diagnostic {
+	if p.Pkg == nil {
+		return nil
+	}
+
+	// Pass 1: objects used atomically, with one example site each.
+	roots := make(map[types.Object]token.Position)
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !isAtomicCall(p.Info, call) {
+				return true
+			}
+			for _, arg := range call.Args {
+				u, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+				if !ok || u.Op != token.AND {
+					continue
+				}
+				if obj := accessedObject(p.Info, u.X); obj != nil {
+					if _, seen := roots[obj]; !seen {
+						roots[obj] = p.Fset.Position(u.Pos())
+					}
+				}
+			}
+			return true
+		})
+	}
+	if len(roots) == 0 {
+		return nil
+	}
+
+	// Pass 2: every access to a root outside a sync/atomic argument.
+	var diags []Diagnostic
+	flag := func(n ast.Node, obj types.Object) {
+		at := roots[obj]
+		diags = append(diags, Diagnostic{
+			Pos:   p.Fset.Position(n.Pos()),
+			Check: "atomic-discipline",
+			Message: fmt.Sprintf("%s is accessed atomically at %s:%d but non-atomically here; every access to an atomic variable must go through sync/atomic",
+				obj.Name(), shortFile(at.Filename), at.Line),
+		})
+	}
+
+	var walk func(n ast.Node, sanctioned bool)
+	walk = func(n ast.Node, sanctioned bool) {
+		if n == nil {
+			return
+		}
+		switch x := n.(type) {
+		case *ast.CallExpr:
+			if isAtomicCall(p.Info, x) {
+				walk(x.Fun, sanctioned)
+				for _, arg := range x.Args {
+					if u, ok := ast.Unparen(arg).(*ast.UnaryExpr); ok && u.Op == token.AND {
+						walk(u.X, true)
+					} else {
+						walk(arg, sanctioned)
+					}
+				}
+				return
+			}
+		case *ast.CompositeLit:
+			// Construction-time initialization precedes sharing.
+			walk(x.Type, sanctioned)
+			for _, elt := range x.Elts {
+				if kv, ok := elt.(*ast.KeyValueExpr); ok {
+					walk(kv.Value, sanctioned)
+					continue
+				}
+				walk(elt, sanctioned)
+			}
+			return
+		case *ast.Ident:
+			if obj := p.Info.Uses[x]; obj != nil && !sanctioned {
+				if _, isRoot := roots[obj]; isRoot {
+					flag(x, obj)
+				}
+			}
+			return
+		case *ast.SelectorExpr:
+			if obj := p.Info.Uses[x.Sel]; obj != nil && !sanctioned {
+				if _, isRoot := roots[obj]; isRoot {
+					flag(x.Sel, obj)
+				}
+			}
+			walk(x.X, sanctioned)
+			return
+		}
+		children(n, func(c ast.Node) { walk(c, sanctioned) })
+	}
+	for _, f := range p.Files {
+		walk(f, false)
+	}
+	return diags
+}
+
+// isAtomicCall reports whether the call targets a sync/atomic function.
+func isAtomicCall(info *types.Info, call *ast.CallExpr) bool {
+	fn := calleeFunc(info, call)
+	return fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == "sync/atomic" && fn.Type().(*types.Signature).Recv() == nil
+}
+
+// accessedObject resolves an addressable access expression to the
+// variable or field object it denotes: a plain identifier, or the field
+// of a selector chain (x.y.n resolves to n's field object, shared by
+// every instance of the struct type).
+func accessedObject(info *types.Info, e ast.Expr) types.Object {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		if v, ok := info.Uses[x].(*types.Var); ok {
+			return v
+		}
+	case *ast.SelectorExpr:
+		if v, ok := info.Uses[x.Sel].(*types.Var); ok && v.IsField() {
+			return v
+		}
+	}
+	return nil
+}
+
+// shortFile trims a path to its final element for diagnostics.
+func shortFile(path string) string {
+	for i := len(path) - 1; i >= 0; i-- {
+		if path[i] == '/' {
+			return path[i+1:]
+		}
+	}
+	return path
+}

@@ -1,0 +1,103 @@
+package lint
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Baselines let nrmi-vet gate CI on *new* findings without a big-bang
+// cleanup: a baseline file records the accepted debt, one finding per
+// line, and a run subtracts it before reporting. Entries are keyed by
+// check, module-relative file, and message — deliberately without line
+// numbers, so unrelated edits that shift code do not resurrect
+// baselined findings. The key is a multiset: two identical findings
+// need two baseline lines, so debt cannot silently grow under an
+// existing entry.
+//
+// File format: '#' comment lines and blank lines are ignored; every
+// other line is "check|file|message".
+
+// baselineKey renders one diagnostic's baseline identity. root is the
+// module root used to relativize file paths.
+func baselineKey(d Diagnostic, root string) string {
+	file := d.Pos.Filename
+	if root != "" {
+		if rel, err := filepath.Rel(root, file); err == nil && !strings.HasPrefix(rel, "..") {
+			file = filepath.ToSlash(rel)
+		}
+	}
+	return d.Check + "|" + file + "|" + d.Message
+}
+
+// LoadBaseline reads a baseline file into a multiset of keys.
+func LoadBaseline(path string) (map[string]int, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	base := make(map[string]int)
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		base[line]++
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return base, nil
+}
+
+// ApplyBaseline removes findings present in the baseline multiset and
+// returns the remainder. Each baseline entry absorbs at most one
+// finding.
+func ApplyBaseline(diags []Diagnostic, base map[string]int, root string) []Diagnostic {
+	if len(base) == 0 {
+		return diags
+	}
+	remaining := make(map[string]int, len(base))
+	for k, n := range base {
+		remaining[k] = n
+	}
+	var out []Diagnostic
+	for _, d := range diags {
+		k := baselineKey(d, root)
+		if remaining[k] > 0 {
+			remaining[k]--
+			continue
+		}
+		out = append(out, d)
+	}
+	return out
+}
+
+// WriteBaseline renders the findings as a baseline file, sorted so the
+// output is diffable and stable across runs.
+func WriteBaseline(w io.Writer, diags []Diagnostic, root string) error {
+	keys := make([]string, 0, len(diags))
+	for _, d := range diags {
+		keys = append(keys, baselineKey(d, root))
+	}
+	sort.Strings(keys)
+	if _, err := fmt.Fprintln(w, "# nrmi-vet baseline: accepted findings, one per line (check|file|message)."); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintln(w, "# Regenerate with: nrmi-vet -write-baseline <path> <packages>"); err != nil {
+		return err
+	}
+	for _, k := range keys {
+		if _, err := fmt.Fprintln(w, k); err != nil {
+			return err
+		}
+	}
+	return nil
+}

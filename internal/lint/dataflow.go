@@ -1,0 +1,158 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+)
+
+// This file is the generic forward dataflow engine nrmi-vet's
+// flow-sensitive checks run on: an iterative worklist solver over a
+// CFG, parameterized by an Analysis that supplies the lattice (join,
+// equality) and the transfer functions. Termination is guaranteed for
+// monotone transfer functions over finite-height lattices — every check
+// in this package uses small per-variable bitmask states — and enforced
+// defensively by a visit budget so a buggy analysis degrades into a
+// skipped function instead of a hung linter.
+
+// Fact is one dataflow fact — a check-defined immutable value attached
+// to a program point. Transfer functions must not mutate a received
+// fact; they return a new one (or the input unchanged).
+type Fact any
+
+// Analysis defines one forward dataflow problem.
+type Analysis interface {
+	// Entry is the fact at function entry.
+	Entry() Fact
+	// Join merges facts from two incoming paths.
+	Join(a, b Fact) Fact
+	// Equal reports whether two facts carry the same information; the
+	// solver stops propagating along an edge when the target's fact no
+	// longer changes.
+	Equal(a, b Fact) bool
+	// TransferNode computes the fact after executing one CFG node.
+	TransferNode(n ast.Node, in Fact) Fact
+	// TransferEdge refines the fact along a control-flow edge, typically
+	// using e.Cond (e.g. "err != nil" kills a value that is zero on the
+	// error path). Returning the input unchanged is always sound.
+	TransferEdge(e *Edge, out Fact) Fact
+}
+
+// solveBudget bounds total block visits as a multiple of the block
+// count. The lattices used here have height ≤ a few bits per tracked
+// variable, so real fixpoints arrive in a handful of passes; the budget
+// only trips on a non-monotone (buggy) transfer function.
+const solveBudget = 256
+
+// Solve runs a to fixpoint over g and returns the fact at the entry of
+// every reachable block. Unreachable blocks are absent from the result.
+// An error is returned only if the analysis fails to converge within
+// the visit budget.
+func Solve(g *CFG, a Analysis) (map[*Block]Fact, error) {
+	in := make(map[*Block]Fact)
+	in[g.Entry] = a.Entry()
+
+	// Seed the worklist in reverse post-order so facts flow roughly
+	// topologically and loops converge in few passes.
+	order := postOrder(g)
+	pos := make(map[*Block]int, len(order))
+	for i, blk := range order {
+		pos[blk] = len(order) - i // reverse post-order rank
+	}
+
+	work := []*Block{g.Entry}
+	queued := map[*Block]bool{g.Entry: true}
+	budget := solveBudget * (len(g.Blocks) + 1)
+	for len(work) > 0 {
+		if budget--; budget < 0 {
+			return nil, fmt.Errorf("lint: dataflow did not converge within budget")
+		}
+		// Pop the block with the smallest reverse post-order rank.
+		best := 0
+		for i := 1; i < len(work); i++ {
+			if pos[work[i]] < pos[work[best]] {
+				best = i
+			}
+		}
+		blk := work[best]
+		work[best] = work[len(work)-1]
+		work = work[:len(work)-1]
+		queued[blk] = false
+
+		out := blockOut(a, blk, in[blk])
+		for _, e := range blk.Succs {
+			f := a.TransferEdge(e, out)
+			cur, ok := in[e.To]
+			var next Fact
+			if ok {
+				next = a.Join(cur, f)
+				if a.Equal(cur, next) {
+					continue
+				}
+			} else {
+				next = f
+			}
+			in[e.To] = next
+			if !queued[e.To] {
+				queued[e.To] = true
+				work = append(work, e.To)
+			}
+		}
+	}
+	return in, nil
+}
+
+// blockOut folds the node transfer function over one block.
+func blockOut(a Analysis, blk *Block, in Fact) Fact {
+	f := in
+	for _, n := range blk.Nodes {
+		f = a.TransferNode(n, f)
+	}
+	return f
+}
+
+// postOrder returns the blocks reachable from Entry in DFS post-order.
+func postOrder(g *CFG) []*Block {
+	var order []*Block
+	seen := make(map[*Block]bool)
+	var visit func(*Block)
+	visit = func(blk *Block) {
+		seen[blk] = true
+		for _, e := range blk.Succs {
+			if !seen[e.To] {
+				visit(e.To)
+			}
+		}
+		order = append(order, blk)
+	}
+	visit(g.Entry)
+	return order
+}
+
+// WalkFacts replays the solved analysis once over every reachable
+// block in deterministic (creation-index) order, calling visit before
+// each node transfer with the fact holding immediately before the node
+// executes. Checks report diagnostics from visit, after the fixpoint,
+// so iteration order during solving can never duplicate a finding.
+func WalkFacts(g *CFG, a Analysis, in map[*Block]Fact, visit func(n ast.Node, before Fact)) {
+	for _, blk := range g.Blocks {
+		f, ok := in[blk]
+		if !ok {
+			continue // unreachable
+		}
+		for _, n := range blk.Nodes {
+			visit(n, f)
+			f = a.TransferNode(n, f)
+		}
+	}
+}
+
+// ExitFact returns the fact at the entry of the Exit block, or nil when
+// the function cannot fall through or return (e.g. ends in panic or an
+// infinite loop).
+func ExitFact(g *CFG, in map[*Block]Fact) Fact {
+	f, ok := in[g.Exit]
+	if !ok {
+		return nil
+	}
+	return f
+}

@@ -1,0 +1,320 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// The solver tests use a deliberately simple analysis independent of any
+// real check: tagAnalysis collects the string literals a path has
+// executed ("may reach" over tags, join = union). Bodies are parsed
+// without type checking, so tests can focus purely on propagation.
+
+type tagFact map[string]bool
+
+func (f tagFact) clone() tagFact {
+	out := make(tagFact, len(f))
+	for k := range f {
+		out[k] = true
+	}
+	return out
+}
+
+func (f tagFact) String() string {
+	var keys []string
+	for k := range f {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return strings.Join(keys, ",")
+}
+
+type tagAnalysis struct {
+	// markEdges makes TransferEdge add "true-edge"/"false-edge" tags on
+	// guarded edges, to test edge refinement plumbing.
+	markEdges bool
+}
+
+func (a *tagAnalysis) Entry() Fact { return tagFact{} }
+
+func (a *tagAnalysis) Join(x, y Fact) Fact {
+	out := x.(tagFact).clone()
+	for k := range y.(tagFact) {
+		out[k] = true
+	}
+	return out
+}
+
+func (a *tagAnalysis) Equal(x, y Fact) bool {
+	fx, fy := x.(tagFact), y.(tagFact)
+	if len(fx) != len(fy) {
+		return false
+	}
+	for k := range fx {
+		if !fy[k] {
+			return false
+		}
+	}
+	return true
+}
+
+func (a *tagAnalysis) TransferNode(n ast.Node, in Fact) Fact {
+	tags := literalTags(n)
+	if len(tags) == 0 {
+		return in
+	}
+	out := in.(tagFact).clone()
+	for _, s := range tags {
+		out[s] = true
+	}
+	return out
+}
+
+func (a *tagAnalysis) TransferEdge(e *Edge, out Fact) Fact {
+	if !a.markEdges || e.Cond == nil {
+		return out
+	}
+	f := out.(tagFact).clone()
+	if e.Negated {
+		f["false-edge"] = true
+	} else {
+		f["true-edge"] = true
+	}
+	return f
+}
+
+// literalTags extracts the string literal contents in a node.
+func literalTags(n ast.Node) []string {
+	var tags []string
+	ast.Inspect(n, func(m ast.Node) bool {
+		if lit, ok := m.(*ast.BasicLit); ok && lit.Kind == token.STRING {
+			tags = append(tags, strings.Trim(lit.Value, `"`))
+		}
+		return true
+	})
+	return tags
+}
+
+// solveTags builds the CFG for body, solves tagAnalysis, and returns
+// the before-fact observed at the node containing at.
+func solveTags(t *testing.T, a *tagAnalysis, body, at string) tagFact {
+	t.Helper()
+	g, fset := buildTestCFG(t, body)
+	in, err := Solve(g, a)
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	var got tagFact
+	WalkFacts(g, a, in, func(n ast.Node, before Fact) {
+		if strings.Contains(nodeText(fset, n), at) && got == nil {
+			got = before.(tagFact)
+		}
+	})
+	if got == nil {
+		t.Fatalf("no node contains %q", at)
+	}
+	return got
+}
+
+func wantTags(t *testing.T, f tagFact, want ...string) {
+	t.Helper()
+	for _, w := range want {
+		if !f[w] {
+			t.Errorf("fact %v missing tag %q", f, w)
+		}
+	}
+}
+
+func wantNoTags(t *testing.T, f tagFact, reject ...string) {
+	t.Helper()
+	for _, r := range reject {
+		if f[r] {
+			t.Errorf("fact %v must not contain tag %q", f, r)
+		}
+	}
+}
+
+func TestSolveStraightLine(t *testing.T) {
+	f := solveTags(t, &tagAnalysis{}, `a := "first"
+b := "second"
+sink("probe")`, "probe")
+	wantTags(t, f, "first", "second")
+	wantNoTags(t, f, "probe") // before-fact excludes the node itself
+}
+
+func TestSolveBranchesJoin(t *testing.T) {
+	f := solveTags(t, &tagAnalysis{}, `if cond {
+	a := "then"
+	_ = a
+} else {
+	b := "else"
+	_ = b
+}
+sink("probe")`, "probe")
+	// May-analysis: both branch tags survive the join.
+	wantTags(t, f, "then", "else")
+}
+
+func TestSolveBranchesStaySeparate(t *testing.T) {
+	f := solveTags(t, &tagAnalysis{}, `if cond {
+	a := "then"
+	sink("probe")
+} else {
+	b := "else"
+	_ = b
+}`, "probe")
+	wantTags(t, f, "then")
+	wantNoTags(t, f, "else")
+}
+
+// TestSolveLoopFixpoint requires a second pass over the loop: the body
+// tag flows around the back edge and must be present at the body's own
+// entry once the solver converges.
+func TestSolveLoopFixpoint(t *testing.T) {
+	f := solveTags(t, &tagAnalysis{}, `pre := "pre"
+for cond {
+	sink("probe")
+	x := "loop"
+	_ = x
+}`, "probe")
+	wantTags(t, f, "pre", "loop")
+}
+
+func TestSolveNestedLoopsConverge(t *testing.T) {
+	f := solveTags(t, &tagAnalysis{}, `for a {
+	x := "outer"
+	for b {
+		y := "inner"
+		_ = y
+	}
+	_ = x
+}
+sink("probe")`, "probe")
+	wantTags(t, f, "outer", "inner")
+}
+
+// TestSolveEdgeRefinement checks that TransferEdge results are what
+// flows into branch targets.
+func TestSolveEdgeRefinement(t *testing.T) {
+	a := &tagAnalysis{markEdges: true}
+	then := solveTags(t, a, `if cond {
+	sink("probe")
+} else {
+	other()
+}`, "probe")
+	wantTags(t, then, "true-edge")
+	wantNoTags(t, then, "false-edge")
+}
+
+// TestSolveUnreachableAbsent checks unreachable blocks carry no fact.
+func TestSolveUnreachableAbsent(t *testing.T) {
+	g, fset := buildTestCFG(t, `return
+dead("tag")`)
+	a := &tagAnalysis{}
+	in, err := Solve(g, a)
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	for blk, f := range in {
+		for _, n := range blk.Nodes {
+			if strings.Contains(nodeText(fset, n), "dead") {
+				t.Fatalf("unreachable block has fact %v", f)
+			}
+		}
+	}
+	// And WalkFacts must skip it entirely.
+	WalkFacts(g, a, in, func(n ast.Node, before Fact) {
+		if strings.Contains(nodeText(fset, n), "dead") {
+			t.Fatal("WalkFacts visited an unreachable node")
+		}
+	})
+}
+
+// TestSolveExitFact aggregates every return path at Exit, and is nil for
+// functions that cannot terminate normally.
+func TestSolveExitFact(t *testing.T) {
+	g, _ := buildTestCFG(t, `if cond {
+	a := "then"
+	_ = a
+	return
+}
+b := "fall"
+_ = b`)
+	a := &tagAnalysis{}
+	in, err := Solve(g, a)
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	exit, ok := ExitFact(g, in).(tagFact)
+	if !ok {
+		t.Fatal("exit fact missing")
+	}
+	wantTags(t, exit, "then", "fall")
+
+	g2, _ := buildTestCFG(t, `for {
+	spin()
+}`)
+	in2, err := Solve(g2, a)
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	if ExitFact(g2, in2) != nil {
+		t.Fatal("infinite loop must have nil exit fact")
+	}
+}
+
+// divergentAnalysis never reports two facts equal, simulating a buggy
+// non-monotone transfer function: the solver's budget must turn the
+// resulting livelock into an error instead of hanging.
+type divergentAnalysis struct{ tagAnalysis }
+
+func (d *divergentAnalysis) Equal(x, y Fact) bool { return false }
+
+func TestSolveBudgetStopsDivergence(t *testing.T) {
+	g, _ := buildTestCFG(t, `for {
+	spin("x")
+}`)
+	_, err := Solve(g, &divergentAnalysis{})
+	if err == nil {
+		t.Fatal("divergent analysis must exhaust the budget and error")
+	}
+}
+
+// TestWalkFactsDeterministic replays the same solution twice and
+// demands an identical visit sequence — checks report diagnostics from
+// this walk, so ordering must not depend on map iteration.
+func TestWalkFactsDeterministic(t *testing.T) {
+	g, fset := buildTestCFG(t, `for i := 0; i < 3; i++ {
+	if a() {
+		x := "one"
+		_ = x
+	} else {
+		y := "two"
+		_ = y
+	}
+}
+z := "end"
+_ = z`)
+	a := &tagAnalysis{}
+	in, err := Solve(g, a)
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	record := func() []string {
+		var seq []string
+		WalkFacts(g, a, in, func(n ast.Node, before Fact) {
+			seq = append(seq, nodeText(fset, n)+"|"+before.(tagFact).String())
+		})
+		return seq
+	}
+	first, second := record(), record()
+	if strings.Join(first, ";") != strings.Join(second, ";") {
+		t.Fatal("WalkFacts visit order is not deterministic")
+	}
+	if len(first) == 0 {
+		t.Fatal("WalkFacts visited nothing")
+	}
+}

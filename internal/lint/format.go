@@ -1,0 +1,145 @@
+package lint
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// Machine-readable output for nrmi-vet: a stable JSON report for
+// scripting and a minimal SARIF 2.1.0 document for code-scanning UIs.
+// Both are rendered from the same sorted []Diagnostic that the text
+// format prints, so every format agrees on content and order.
+
+// Finding is one diagnostic in the JSON report.
+type Finding struct {
+	File    string `json:"file"`
+	Line    int    `json:"line"`
+	Column  int    `json:"column"`
+	Check   string `json:"check"`
+	Message string `json:"message"`
+}
+
+// Report is the top-level JSON document.
+type Report struct {
+	Tool     string    `json:"tool"`
+	Count    int       `json:"count"`
+	Findings []Finding `json:"findings"`
+}
+
+// NewReport converts diagnostics to the JSON report shape.
+func NewReport(diags []Diagnostic) Report {
+	r := Report{Tool: "nrmi-vet", Count: len(diags), Findings: []Finding{}}
+	for _, d := range diags {
+		r.Findings = append(r.Findings, Finding{
+			File:    d.Pos.Filename,
+			Line:    d.Pos.Line,
+			Column:  d.Pos.Column,
+			Check:   d.Check,
+			Message: d.Message,
+		})
+	}
+	return r
+}
+
+// WriteJSON renders the report as indented JSON.
+func WriteJSON(w io.Writer, diags []Diagnostic) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(NewReport(diags))
+}
+
+// SARIF 2.1.0 subset — only the fields code-scanning consumers require.
+
+type sarifLog struct {
+	Schema  string     `json:"$schema"`
+	Version string     `json:"version"`
+	Runs    []sarifRun `json:"runs"`
+}
+
+type sarifRun struct {
+	Tool    sarifTool     `json:"tool"`
+	Results []sarifResult `json:"results"`
+}
+
+type sarifTool struct {
+	Driver sarifDriver `json:"driver"`
+}
+
+type sarifDriver struct {
+	Name  string      `json:"name"`
+	Rules []sarifRule `json:"rules"`
+}
+
+type sarifRule struct {
+	ID        string       `json:"id"`
+	ShortDesc sarifMessage `json:"shortDescription"`
+}
+
+type sarifResult struct {
+	RuleID    string          `json:"ruleId"`
+	Level     string          `json:"level"`
+	Message   sarifMessage    `json:"message"`
+	Locations []sarifLocation `json:"locations"`
+}
+
+type sarifMessage struct {
+	Text string `json:"text"`
+}
+
+type sarifLocation struct {
+	PhysicalLocation sarifPhysical `json:"physicalLocation"`
+}
+
+type sarifPhysical struct {
+	ArtifactLocation sarifArtifact `json:"artifactLocation"`
+	Region           sarifRegion   `json:"region"`
+}
+
+type sarifArtifact struct {
+	URI string `json:"uri"`
+}
+
+type sarifRegion struct {
+	StartLine   int `json:"startLine"`
+	StartColumn int `json:"startColumn"`
+}
+
+// WriteSARIF renders the findings as a SARIF 2.1.0 document. The rule
+// catalog always lists every registered check (plus the
+// unused-suppression pseudo-check), so consumers can show docs for
+// rules with zero current results.
+func WriteSARIF(w io.Writer, diags []Diagnostic) error {
+	driver := sarifDriver{Name: "nrmi-vet", Rules: []sarifRule{}}
+	for _, c := range Checks() {
+		driver.Rules = append(driver.Rules, sarifRule{
+			ID:        c.ID,
+			ShortDesc: sarifMessage{Text: c.Doc},
+		})
+	}
+	driver.Rules = append(driver.Rules, sarifRule{
+		ID:        "unused-suppression",
+		ShortDesc: sarifMessage{Text: "a //nrmi:ignore comment that suppresses no finding"},
+	})
+	results := []sarifResult{}
+	for _, d := range diags {
+		results = append(results, sarifResult{
+			RuleID:  d.Check,
+			Level:   "warning",
+			Message: sarifMessage{Text: d.Message},
+			Locations: []sarifLocation{{
+				PhysicalLocation: sarifPhysical{
+					ArtifactLocation: sarifArtifact{URI: d.Pos.Filename},
+					Region:           sarifRegion{StartLine: d.Pos.Line, StartColumn: d.Pos.Column},
+				},
+			}},
+		})
+	}
+	log := sarifLog{
+		Schema:  "https://json.schemastore.org/sarif-2.1.0.json",
+		Version: "2.1.0",
+		Runs:    []sarifRun{{Tool: sarifTool{Driver: driver}, Results: results}},
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(log)
+}

@@ -1,0 +1,187 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func formatFixture(t *testing.T) []Diagnostic {
+	t.Helper()
+	p := loadTestdata(t, "atomicfield")
+	diags := Run([]*Package{p}, map[string]bool{"atomic-discipline": true})
+	if len(diags) == 0 {
+		t.Fatal("fixture produced no findings")
+	}
+	return diags
+}
+
+// TestJSONRoundTrip is the schema check: the emitted JSON must decode
+// back into the Report type losslessly and carry complete positions.
+func TestJSONRoundTrip(t *testing.T) {
+	diags := formatFixture(t)
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, diags); err != nil {
+		t.Fatal(err)
+	}
+	var got Report
+	if err := json.Unmarshal(buf.Bytes(), &got); err != nil {
+		t.Fatalf("output does not round-trip: %v", err)
+	}
+	if got.Tool != "nrmi-vet" {
+		t.Errorf("tool = %q", got.Tool)
+	}
+	if got.Count != len(diags) || len(got.Findings) != len(diags) {
+		t.Errorf("count = %d, findings = %d, want %d", got.Count, len(got.Findings), len(diags))
+	}
+	for i, f := range got.Findings {
+		if f.File == "" || f.Line <= 0 || f.Column <= 0 || f.Check == "" || f.Message == "" {
+			t.Errorf("finding %d incomplete: %+v", i, f)
+		}
+		if f.Check != diags[i].Check || f.Line != diags[i].Pos.Line {
+			t.Errorf("finding %d diverges from diagnostic: %+v vs %v", i, f, diags[i])
+		}
+	}
+	// Strict schema check: decoding with unknown fields rejected must
+	// also succeed, proving the document contains exactly the schema.
+	dec := json.NewDecoder(bytes.NewReader(buf.Bytes()))
+	dec.DisallowUnknownFields()
+	var strict Report
+	if err := dec.Decode(&strict); err != nil {
+		t.Fatalf("schema drift: %v", err)
+	}
+}
+
+// TestJSONEmpty pins the zero-finding document shape: an empty findings
+// array, never null, so consumers can range unconditionally.
+func TestJSONEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	var raw map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &raw); err != nil {
+		t.Fatal(err)
+	}
+	if arr, ok := raw["findings"].([]any); !ok || len(arr) != 0 {
+		t.Fatalf("findings = %v, want empty array", raw["findings"])
+	}
+}
+
+// TestSARIF validates the SARIF document against the structural subset
+// code-scanning consumers require.
+func TestSARIF(t *testing.T) {
+	diags := formatFixture(t)
+	var buf bytes.Buffer
+	if err := WriteSARIF(&buf, diags); err != nil {
+		t.Fatal(err)
+	}
+	var log struct {
+		Version string `json:"version"`
+		Runs    []struct {
+			Tool struct {
+				Driver struct {
+					Name  string `json:"name"`
+					Rules []struct {
+						ID string `json:"id"`
+					} `json:"rules"`
+				} `json:"driver"`
+			} `json:"tool"`
+			Results []struct {
+				RuleID    string `json:"ruleId"`
+				Level     string `json:"level"`
+				Message   struct{ Text string }
+				Locations []struct {
+					PhysicalLocation struct {
+						ArtifactLocation struct {
+							URI string `json:"uri"`
+						} `json:"artifactLocation"`
+						Region struct {
+							StartLine int `json:"startLine"`
+						} `json:"region"`
+					} `json:"physicalLocation"`
+				} `json:"locations"`
+			} `json:"results"`
+		} `json:"runs"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &log); err != nil {
+		t.Fatal(err)
+	}
+	if log.Version != "2.1.0" || len(log.Runs) != 1 {
+		t.Fatalf("version = %q, runs = %d", log.Version, len(log.Runs))
+	}
+	run := log.Runs[0]
+	if run.Tool.Driver.Name != "nrmi-vet" {
+		t.Errorf("driver name = %q", run.Tool.Driver.Name)
+	}
+	rules := make(map[string]bool)
+	for _, r := range run.Tool.Driver.Rules {
+		rules[r.ID] = true
+	}
+	for _, c := range Checks() {
+		if !rules[c.ID] {
+			t.Errorf("rule catalog missing check %s", c.ID)
+		}
+	}
+	if len(run.Results) != len(diags) {
+		t.Fatalf("results = %d, want %d", len(run.Results), len(diags))
+	}
+	for i, r := range run.Results {
+		if !rules[r.RuleID] {
+			t.Errorf("result %d references unlisted rule %q", i, r.RuleID)
+		}
+		if len(r.Locations) != 1 || r.Locations[0].PhysicalLocation.Region.StartLine <= 0 {
+			t.Errorf("result %d has no usable location", i)
+		}
+	}
+}
+
+// TestBaselineRoundTrip: written baselines absorb exactly the findings
+// they record, independent of line numbers.
+func TestBaselineRoundTrip(t *testing.T) {
+	diags := formatFixture(t)
+	root := t.TempDir()
+	var buf bytes.Buffer
+	if err := WriteBaseline(&buf, diags, ""); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(root, "baseline.txt")
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	base, err := LoadBaseline(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rest := ApplyBaseline(diags, base, ""); len(rest) != 0 {
+		t.Fatalf("full baseline left %d finding(s): %v", len(rest), rest)
+	}
+
+	// Shift every finding to a different line: the baseline must still
+	// absorb them (keys carry no line numbers).
+	shifted := make([]Diagnostic, len(diags))
+	copy(shifted, diags)
+	for i := range shifted {
+		shifted[i].Pos.Line += 100
+	}
+	if rest := ApplyBaseline(shifted, base, ""); len(rest) != 0 {
+		t.Fatalf("line shift resurrected %d finding(s)", len(rest))
+	}
+
+	// A new finding (different message) must pass through.
+	extra := diags[0]
+	extra.Message = "a brand new violation"
+	if rest := ApplyBaseline(append(shifted, extra), base, ""); len(rest) != 1 {
+		t.Fatalf("new finding not reported through baseline: %d", len(rest))
+	}
+
+	// Multiset semantics: two identical findings, one baseline entry —
+	// one must survive.
+	dup := []Diagnostic{diags[0], diags[0]}
+	single := map[string]int{baselineKey(diags[0], ""): 1}
+	if rest := ApplyBaseline(dup, single, ""); len(rest) != 1 {
+		t.Fatalf("duplicate findings under one entry = %d survivors, want 1", len(rest))
+	}
+}

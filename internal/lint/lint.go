@@ -19,10 +19,22 @@
 //     walker, codec, or buffer into the next call;
 //   - span-end: every obs phase span started must be ended before the
 //     first return statement that follows it (or deferred), so no code
-//     path silently drops a phase from the observability histograms.
+//     path silently drops a phase from the observability histograms;
+//   - payload-ownership: pooled payloads (bufpool.Get, payload-bearing
+//     transport reads) must reach exactly one release or ownership
+//     transfer on every path — leaks on error returns, double puts, and
+//     owned overwrites are flagged (dataflow, cfg.go + dataflow.go);
+//   - ctx-propagation: a function receiving a context.Context must
+//     thread it (not context.Background/TODO, even laundered through
+//     locals or context.With* chains) into outgoing calls (dataflow);
+//   - atomic-discipline: variables and fields ever accessed via
+//     sync/atomic must never be read or written plainly elsewhere.
 //
 // Each check has a stable ID usable with nrmi-vet's -checks flag, and a
-// testdata package under testdata/src/<id> exercising it.
+// testdata package under testdata/src/<id> exercising it. The first six
+// checks are syntactic (AST walk + type information); the last three run
+// on the package's CFG + worklist dataflow engine — see dataflow.go for
+// the Analysis interface and docs/LINT.md for a guide to writing one.
 package lint
 
 import (
@@ -88,6 +100,21 @@ func Checks() []Check {
 			ID:  "span-end",
 			Doc: "every started obs phase span must be ended before the first following return, or deferred",
 			Run: checkSpanEnd,
+		},
+		{
+			ID:  "payload-ownership",
+			Doc: "pooled payloads must reach exactly one release or ownership transfer on every path",
+			Run: checkPayloadOwnership,
+		},
+		{
+			ID:  "ctx-propagation",
+			Doc: "functions receiving a context must thread it, not a fresh Background/TODO, into outgoing calls",
+			Run: checkCtxPropagation,
+		},
+		{
+			ID:  "atomic-discipline",
+			Doc: "variables accessed via sync/atomic must never be read or written non-atomically",
+			Run: checkAtomicDiscipline,
 		},
 	}
 }

@@ -98,12 +98,51 @@ func runCheckTest(t *testing.T, checkID, pkg string) {
 	}
 }
 
+// runCleanTest runs one check over a clean-twin package and demands
+// zero findings: the twin holds the idioms the check must not flag.
+func runCleanTest(t *testing.T, checkID, pkg string) {
+	t.Helper()
+	p := loadTestdata(t, pkg)
+	for _, d := range Run([]*Package{p}, map[string]bool{checkID: true}) {
+		t.Errorf("clean twin %s has finding: %s", pkg, d)
+	}
+}
+
 func TestRestorableClosure(t *testing.T)     { runCheckTest(t, "restorable-closure", "restorable") }
 func TestRegistryCoverage(t *testing.T)      { runCheckTest(t, "registry-coverage", "registrycov") }
 func TestInterceptorDiscipline(t *testing.T) { runCheckTest(t, "interceptor-discipline", "interceptor") }
 func TestGuardedEscape(t *testing.T)         { runCheckTest(t, "guarded-escape", "guarded") }
 func TestPoolReset(t *testing.T)             { runCheckTest(t, "pool-reset", "poolreset") }
 func TestSpanEnd(t *testing.T)               { runCheckTest(t, "span-end", "spanend") }
+func TestPayloadOwnership(t *testing.T)      { runCheckTest(t, "payload-ownership", "payloadown") }
+func TestCtxPropagation(t *testing.T)        { runCheckTest(t, "ctx-propagation", "ctxprop") }
+func TestAtomicDiscipline(t *testing.T)      { runCheckTest(t, "atomic-discipline", "atomicfield") }
+
+func TestPayloadOwnershipClean(t *testing.T) { runCleanTest(t, "payload-ownership", "payloadclean") }
+func TestCtxPropagationClean(t *testing.T)   { runCleanTest(t, "ctx-propagation", "ctxpropclean") }
+func TestAtomicDisciplineClean(t *testing.T) { runCleanTest(t, "atomic-discipline", "atomicclean") }
+
+// TestPayloadOwnershipCatchesReplyPathLeak pins the acceptance
+// requirement from the observability PR's bug sweep: re-introducing the
+// reply-path leak (a ctx.Done race arm returning without releasing the
+// reply payload — reverted in the replyleak.go fixture) must be caught
+// by payload-ownership, and the fixed shape next to it must not be.
+func TestPayloadOwnershipCatchesReplyPathLeak(t *testing.T) {
+	p := loadTestdata(t, "payloadown")
+	diags := Run([]*Package{p}, map[string]bool{"payload-ownership": true})
+	var inFixture []Diagnostic
+	for _, d := range diags {
+		if strings.HasSuffix(d.Pos.Filename, "replyleak.go") {
+			inFixture = append(inFixture, d)
+		}
+	}
+	if len(inFixture) != 1 {
+		t.Fatalf("replyleak.go findings = %d, want exactly 1 (the reverted fix): %v", len(inFixture), inFixture)
+	}
+	if !strings.Contains(inFixture[0].Message, "may not be released") {
+		t.Errorf("unexpected reply-leak diagnostic: %s", inFixture[0])
+	}
+}
 
 // TestExpandSkipsTestdata verifies pattern expansion mirrors the go
 // tool: testdata and hidden directories never join a ./... walk.
@@ -151,8 +190,53 @@ func TestRepoSelfClean(t *testing.T) {
 		}
 		pkgs = append(pkgs, p)
 	}
-	for _, d := range Run(pkgs, nil) {
+	diags := Run(pkgs, nil)
+	// The repo convention allows justified //nrmi:ignore comments, and
+	// unused ones are themselves findings — so self-clean means clean
+	// after suppression processing, with no stale directives.
+	for _, d := range ApplySuppressions(diags, CollectSuppressions(pkgs), nil) {
 		t.Errorf("repository is not self-clean: %s", d)
+	}
+}
+
+// TestLintCoversAllTrees audits the default ./... expansion from the
+// module root: the self-clean run (and make lint) must see the command
+// and example trees, not just the library — and must never see a
+// testdata package, whose // want fixtures are violations by design.
+func TestLintCoversAllTrees(t *testing.T) {
+	loader, err := NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	root := loader.ModRoot()
+	dirs, err := Expand(root, []string{"./..."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make(map[string]bool, len(dirs))
+	for _, d := range dirs {
+		rel, err := filepath.Rel(root, d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got[filepath.ToSlash(rel)] = true
+		if strings.Contains(rel, "testdata") {
+			t.Errorf("testdata package leaked into the default run: %s", rel)
+		}
+	}
+	for _, want := range []string{
+		".",
+		"cmd/nrmi-vet",
+		"cmd/nrmi-load",
+		"examples/quickstart",
+		"internal/lint",
+		"internal/transport",
+		"internal/rmi",
+		"internal/obs",
+	} {
+		if !got[want] {
+			t.Errorf("default lint expansion misses %s", want)
+		}
 	}
 }
 

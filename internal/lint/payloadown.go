@@ -1,0 +1,602 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// checkPayloadOwnership implements the payload-ownership check: a
+// must-release analysis over the CFG for pooled payload buffers. The
+// runtime ownership protocol (transport.ReleasePayload) says the layer
+// that finishes consuming a pooled payload returns it to the pool;
+// forgetting to is a silent steady-state allocation regression that only
+// the bufpool debug ledger can catch at runtime — the reply-path leak
+// fixed in the observability PR was exactly this shape. The check moves
+// that class of bug to build time.
+//
+// A tracked value is born Owned by assigning the result of a source
+// call — bufpool.Get, or a readFrame-style function returning a struct
+// with a pool-owned payload field (see payloadSource). On every path to
+// a return or to the end of the function it must reach exactly one of:
+//
+//   - a release: ReleasePayload/releasePayload, bufpool.Put, or
+//     sync.Pool.Put (a second release on the same path is a double put,
+//     flagged where it happens);
+//   - an ownership transfer: returning the value, sending it on a
+//     channel, storing it into memory outside call arguments (aliasing
+//     assignment, composite literal, address-of), passing it to a
+//     goroutine, or capturing it in a function literal.
+//
+// Passing the value as a plain call argument is a borrow — the repo's
+// documented convention (transport.Handler: the request payload is
+// pool-owned, callees must copy anything they keep) — so helpers may
+// inspect a buffer without taking on its obligation. When a source also
+// returns an error that is checked, the error path is refined away:
+// `f, err := readFrame(r); if err != nil { return err }` carries no
+// obligation, because a failed source hands out no buffer. Overwriting
+// a still-owned variable is flagged too — the classic loop leak.
+func checkPayloadOwnership(p *Package) []Diagnostic {
+	if p.Pkg == nil {
+		return nil
+	}
+	var diags []Diagnostic
+	emit := func(pos token.Pos, msg string) {
+		diags = append(diags, Diagnostic{
+			Pos:     p.Fset.Position(pos),
+			Check:   "payload-ownership",
+			Message: msg,
+		})
+	}
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			var body *ast.BlockStmt
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				body = fn.Body
+			case *ast.FuncLit:
+				body = fn.Body
+			default:
+				return true
+			}
+			if body != nil {
+				analyzeOwnership(p, body, emit)
+			}
+			return true // nested literals are analyzed on their own
+		})
+	}
+	return diags
+}
+
+// Ownership states, combined as a set of possible path outcomes.
+type ownState uint8
+
+const (
+	// stOwned: the value still carries a release obligation.
+	stOwned ownState = 1 << iota
+	// stReleased: the value has been returned to the pool.
+	stReleased
+	// stEscaped: ownership transferred out of this function.
+	stEscaped
+)
+
+// ownInfo is the per-variable fact: the set of states the variable may
+// be in, the error variable guarding its source (if any), and where and
+// how it was obtained, for diagnostics.
+type ownInfo struct {
+	state  ownState
+	guard  types.Object
+	srcPos token.Pos
+	what   string
+}
+
+// ownFact maps tracked locals to their state. Facts are immutable once
+// published: transfer functions clone before writing.
+type ownFact map[types.Object]ownInfo
+
+func (f ownFact) clone() ownFact {
+	out := make(ownFact, len(f))
+	for k, v := range f {
+		out[k] = v
+	}
+	return out
+}
+
+// ownAnalysis implements Analysis for the must-release problem.
+type ownAnalysis struct {
+	p *Package
+}
+
+func (a *ownAnalysis) Entry() Fact { return ownFact{} }
+
+func (a *ownAnalysis) Join(x, y Fact) Fact {
+	fx, fy := x.(ownFact), y.(ownFact)
+	out := fx.clone()
+	for k, vy := range fy {
+		vx, ok := out[k]
+		if !ok {
+			out[k] = vy
+			continue
+		}
+		vx.state |= vy.state
+		if vx.guard != vy.guard {
+			vx.guard = nil
+		}
+		if vy.srcPos < vx.srcPos {
+			vx.srcPos, vx.what = vy.srcPos, vy.what
+		}
+		out[k] = vx
+	}
+	return out
+}
+
+func (a *ownAnalysis) Equal(x, y Fact) bool {
+	fx, fy := x.(ownFact), y.(ownFact)
+	if len(fx) != len(fy) {
+		return false
+	}
+	for k, vx := range fx {
+		if vy, ok := fy[k]; !ok || vx != vy {
+			return false
+		}
+	}
+	return true
+}
+
+func (a *ownAnalysis) TransferNode(n ast.Node, in Fact) Fact {
+	return a.apply(n, in.(ownFact), nil)
+}
+
+// TransferEdge refines facts on branch edges: the error path of a
+// checked source yields no buffer, and a nil buffer carries no
+// obligation.
+func (a *ownAnalysis) TransferEdge(e *Edge, out Fact) Fact {
+	f := out.(ownFact)
+	if e.Cond == nil || len(f) == 0 {
+		return out
+	}
+	obj, isNeq, ok := nilComparison(a.p.Info, e.Cond)
+	if !ok {
+		return out
+	}
+	// The edge asserts obj != nil when (isNeq && !Negated) or
+	// (!isNeq && Negated); otherwise it asserts obj == nil.
+	assertsNonNil := isNeq != e.Negated
+	var res ownFact
+	kill := func(k types.Object) {
+		if res == nil {
+			res = f.clone()
+		}
+		delete(res, k)
+	}
+	for k, info := range f {
+		if assertsNonNil && info.guard != nil && info.guard == obj {
+			kill(k) // the source's error is non-nil: no buffer was handed out
+		}
+		if !assertsNonNil && k == obj {
+			kill(k) // the buffer itself is nil on this edge
+		}
+	}
+	if res == nil {
+		return out
+	}
+	return res
+}
+
+// apply is the single transfer implementation, used both while solving
+// (emit nil) and during the post-fixpoint reporting walk. It always
+// returns a fresh map; facts are tiny (a handful of tracked locals).
+func (a *ownAnalysis) apply(n ast.Node, in ownFact, emit func(token.Pos, string)) ownFact {
+	info := a.p.Info
+	out := in.clone()
+
+	escape := func(obj types.Object) {
+		if cur, ok := out[obj]; ok {
+			cur.state = stEscaped
+			out[obj] = cur
+		}
+	}
+	escapeAllUsed := func(root ast.Node) {
+		for obj := range out {
+			if usesObject(info, root, obj) {
+				escape(obj)
+			}
+		}
+	}
+	release := func(target ast.Expr, pos token.Pos) {
+		obj := releaseObject(info, target)
+		if obj == nil {
+			return
+		}
+		cur, ok := out[obj]
+		if !ok {
+			return
+		}
+		if cur.state&stReleased != 0 && emit != nil {
+			emit(pos, fmt.Sprintf("%s may already have been released on a path reaching this call; a second release is a double put that hands the same buffer out twice", obj.Name()))
+		}
+		cur.state = stReleased | (cur.state & stEscaped)
+		out[obj] = cur
+	}
+
+	switch st := n.(type) {
+	case *ast.DeferStmt:
+		// A deferred release discharges the obligation from its
+		// registration point on; any other deferred use of a tracked
+		// value is a conservative escape.
+		released := make(map[types.Object]bool)
+		scanCalls(st.Call, func(call *ast.CallExpr) {
+			if t := releaseTarget(info, call); t != nil {
+				if obj := releaseObject(info, t); obj != nil {
+					release(t, call.Pos())
+					released[obj] = true
+				}
+			}
+		})
+		for obj := range out {
+			if !released[obj] && usesObject(info, st, obj) {
+				escape(obj)
+			}
+		}
+		return out
+
+	case *ast.GoStmt:
+		// Goroutines outlive the current path: everything handed to one
+		// (argument or capture) transfers ownership.
+		escapeAllUsed(st)
+		return out
+
+	case *ast.SendStmt:
+		escapeAllUsed(st)
+		return out
+
+	case *ast.ReturnStmt:
+		// Returned values transfer to the caller; anything still Owned
+		// and not returned leaks on this path. The Owned bit is cleared
+		// after reporting so the Exit block does not re-report.
+		escapeAllUsed(st)
+		for obj, cur := range out {
+			if cur.state&stOwned == 0 {
+				continue
+			}
+			if emit != nil {
+				emit(st.Pos(), fmt.Sprintf("%s (from %s at line %d) may not be released on a path reaching this return; release it with ReleasePayload/Put or transfer ownership", obj.Name(), cur.what, a.p.Fset.Position(cur.srcPos).Line))
+			}
+			cur.state &^= stOwned
+			if cur.state == 0 {
+				delete(out, obj)
+			} else {
+				out[obj] = cur
+			}
+		}
+		return out
+	}
+
+	// General statements and expressions. Releases first, so release
+	// arguments are accounted for and cannot double as escapes.
+	releasedArgs := make(map[ast.Expr]bool)
+	scanCallsOutsideFuncLits(n, func(call *ast.CallExpr) {
+		if t := releaseTarget(info, call); t != nil {
+			release(t, call.Pos())
+			releasedArgs[t] = true
+		}
+	})
+
+	// Escapes visible in any expression context: address-of and
+	// closure capture.
+	ast.Inspect(n, func(m ast.Node) bool {
+		switch x := m.(type) {
+		case *ast.UnaryExpr:
+			if x.Op == token.AND {
+				if obj := localOf(info, x.X); obj != nil {
+					escape(obj)
+				}
+			}
+		case *ast.FuncLit:
+			for obj := range out {
+				if usesObject(info, x.Body, obj) {
+					escape(obj)
+				}
+			}
+			return false
+		}
+		return true
+	})
+
+	switch st := n.(type) {
+	case *ast.AssignStmt:
+		a.applyAssign(st, out, emit, releasedArgs, escape)
+	case *ast.DeclStmt:
+		if gd, ok := st.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					a.applyValueSpec(vs, out, escape)
+				}
+			}
+		}
+	default:
+		// Pure expression contexts (conditions, ExprStmt calls): a
+		// tracked value used outside call-argument position — e.g.
+		// inside a composite literal — aliases into unseen storage.
+		for obj := range out {
+			if escapesBare(info, n, obj, releasedArgs) {
+				escape(obj)
+			}
+		}
+	}
+	return out
+}
+
+// applyAssign handles aliasing escapes, guard invalidation, strong
+// updates, and source generation for one assignment. out is mutated in
+// place (apply already cloned it).
+func (a *ownAnalysis) applyAssign(as *ast.AssignStmt, out ownFact, emit func(token.Pos, string), releasedArgs map[ast.Expr]bool, escape func(types.Object)) {
+	info := a.p.Info
+
+	// Bare aliasing on the RHS transfers ownership out of the tracked
+	// variable: `q := p`, `s.buf = p`, `x := p[2:]`, `g := frame{p}`.
+	for _, rhs := range as.Rhs {
+		for obj := range out {
+			if escapesBare(info, rhs, obj, releasedArgs) {
+				escape(obj)
+			}
+		}
+	}
+
+	// Guard invalidation: assigning to an error variable breaks its
+	// pairing with earlier sources.
+	for _, lhs := range as.Lhs {
+		lobj := lhsObject(info, lhs)
+		if lobj == nil {
+			continue
+		}
+		for k, cur := range out {
+			if cur.guard == lobj {
+				cur.guard = nil
+				out[k] = cur
+			}
+		}
+	}
+
+	// Source generation and strong updates.
+	var srcKind payloadKind
+	var srcCall *ast.CallExpr
+	if len(as.Rhs) == 1 {
+		if call, ok := ast.Unparen(as.Rhs[0]).(*ast.CallExpr); ok {
+			srcKind = payloadSource(info, call)
+			srcCall = call
+		}
+	}
+	for i, lhs := range as.Lhs {
+		lobj := lhsObject(info, lhs)
+		if lobj == nil {
+			continue
+		}
+		if cur, tracked := out[lobj]; tracked {
+			// Overwriting a still-owned buffer drops the only
+			// reference: the classic loop leak.
+			if cur.state&stOwned != 0 && emit != nil {
+				emit(as.Pos(), fmt.Sprintf("%s is overwritten while it may still own a pooled payload (from %s at line %d); release it before reassigning", lobj.Name(), cur.what, a.p.Fset.Position(cur.srcPos).Line))
+			}
+			delete(out, lobj)
+		}
+		if i == 0 && srcKind != payloadNone {
+			var guard types.Object
+			if len(as.Lhs) == 2 {
+				if gobj := lhsObject(info, as.Lhs[1]); gobj != nil && isErrorType(gobj.Type()) {
+					guard = gobj
+				}
+			}
+			out[lobj] = ownInfo{
+				state:  stOwned,
+				guard:  guard,
+				srcPos: as.Pos(),
+				what:   callName(srcCall),
+			}
+		}
+	}
+}
+
+// applyValueSpec handles `var p = bufpool.Get(n)` declarations. out is
+// mutated in place.
+func (a *ownAnalysis) applyValueSpec(vs *ast.ValueSpec, out ownFact, escape func(types.Object)) {
+	info := a.p.Info
+	for obj := range out {
+		for _, v := range vs.Values {
+			if escapesBare(info, v, obj, nil) {
+				escape(obj)
+			}
+		}
+	}
+	if len(vs.Values) != 1 || len(vs.Names) != 1 || vs.Names[0].Name == "_" {
+		return
+	}
+	call, ok := ast.Unparen(vs.Values[0]).(*ast.CallExpr)
+	if !ok || payloadSource(info, call) == payloadNone {
+		return
+	}
+	if obj := info.Defs[vs.Names[0]]; obj != nil {
+		out[obj] = ownInfo{state: stOwned, srcPos: vs.Pos(), what: callName(call)}
+	}
+}
+
+// lhsObject resolves an assignment target identifier to its object
+// (defined by := or used by =). Blank and non-identifier targets are nil.
+func lhsObject(info *types.Info, lhs ast.Expr) types.Object {
+	id, ok := ast.Unparen(lhs).(*ast.Ident)
+	if !ok || id.Name == "_" {
+		return nil
+	}
+	if obj := info.Defs[id]; obj != nil {
+		return obj
+	}
+	return info.Uses[id]
+}
+
+// releaseObject resolves a release call's argument to the tracked
+// object: a plain identifier, or the base of a .payload selector on a
+// payload-bearing struct.
+func releaseObject(info *types.Info, target ast.Expr) types.Object {
+	switch x := ast.Unparen(target).(type) {
+	case *ast.Ident:
+		if obj := info.Uses[x]; obj != nil {
+			return obj
+		}
+		return info.Defs[x]
+	case *ast.SelectorExpr:
+		if x.Sel.Name == "payload" {
+			return localOf(info, x.X)
+		}
+	}
+	return nil
+}
+
+// escapesBare reports whether obj occurs in the subtree rooted at e
+// outside of call-argument position — bare uses alias the buffer into
+// storage the analysis cannot see, so ownership conservatively
+// transfers. Occurrences inside call arguments are borrows; function
+// literals are the capture rule's territory; expressions in skip
+// (already consumed by a release) are not rescanned.
+func escapesBare(info *types.Info, e ast.Node, obj types.Object, skip map[ast.Expr]bool) bool {
+	bare := false
+	var walk func(n ast.Node, inCall bool)
+	walk = func(n ast.Node, inCall bool) {
+		if bare || n == nil {
+			return
+		}
+		if ex, ok := n.(ast.Expr); ok && skip[ex] {
+			return
+		}
+		switch x := n.(type) {
+		case *ast.Ident:
+			if !inCall && info.Uses[x] == obj {
+				bare = true
+			}
+		case *ast.CallExpr:
+			walk(x.Fun, inCall)
+			for _, arg := range x.Args {
+				walk(arg, true)
+			}
+		case *ast.FuncLit:
+			// handled by the capture rule
+		case *ast.SelectorExpr:
+			// f.payload in bare position escapes via its base; f.other
+			// (a scalar field read) does not move the payload.
+			if base, ok := ast.Unparen(x.X).(*ast.Ident); ok && info.Uses[base] == obj {
+				if x.Sel.Name == "payload" && !inCall {
+					bare = true
+				}
+				return
+			}
+			walk(x.X, inCall)
+		default:
+			children(n, func(c ast.Node) { walk(c, inCall) })
+		}
+	}
+	walk(e, false)
+	return bare
+}
+
+// children invokes f on each direct child node of n.
+func children(n ast.Node, f func(ast.Node)) {
+	first := true
+	ast.Inspect(n, func(m ast.Node) bool {
+		if first {
+			first = false
+			return true
+		}
+		if m == nil {
+			return false
+		}
+		f(m)
+		return false
+	})
+}
+
+// scanCalls visits every call expression in the subtree, including
+// inside function literals.
+func scanCalls(n ast.Node, visit func(*ast.CallExpr)) {
+	ast.Inspect(n, func(m ast.Node) bool {
+		if call, ok := m.(*ast.CallExpr); ok {
+			visit(call)
+		}
+		return true
+	})
+}
+
+// scanCallsOutsideFuncLits visits call expressions not nested inside a
+// function literal (those run at another time, under the capture rule).
+func scanCallsOutsideFuncLits(n ast.Node, visit func(*ast.CallExpr)) {
+	ast.Inspect(n, func(m ast.Node) bool {
+		if _, ok := m.(*ast.FuncLit); ok {
+			return false
+		}
+		if call, ok := m.(*ast.CallExpr); ok {
+			visit(call)
+		}
+		return true
+	})
+}
+
+// callName renders a call's function for diagnostics ("bufpool.Get").
+func callName(call *ast.CallExpr) string {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return fun.Name
+	case *ast.SelectorExpr:
+		if base, ok := fun.X.(*ast.Ident); ok {
+			return base.Name + "." + fun.Sel.Name
+		}
+		return fun.Sel.Name
+	}
+	return "call"
+}
+
+// analyzeOwnership builds the CFG of one body, solves the must-release
+// analysis, and reports leaks, double puts, and owned overwrites.
+func analyzeOwnership(p *Package, body *ast.BlockStmt, emit func(token.Pos, string)) {
+	// Fast pre-pass: skip bodies with no source call at all.
+	hasSource := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if hasSource {
+			return false
+		}
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false // nested literals get their own analysis
+		}
+		if call, ok := n.(*ast.CallExpr); ok && payloadSource(p.Info, call) != payloadNone {
+			hasSource = true
+		}
+		return true
+	})
+	if !hasSource {
+		return
+	}
+
+	cfg := BuildCFG(body)
+	a := &ownAnalysis{p: p}
+	in, err := Solve(cfg, a)
+	if err != nil {
+		return // non-convergence: skip rather than mis-report
+	}
+
+	seen := make(map[string]bool)
+	dedup := func(pos token.Pos, msg string) {
+		key := fmt.Sprintf("%d|%s", pos, msg)
+		if !seen[key] {
+			seen[key] = true
+			emit(pos, msg)
+		}
+	}
+	WalkFacts(cfg, a, in, func(n ast.Node, before Fact) {
+		a.apply(n, before.(ownFact), dedup)
+	})
+	if exit := ExitFact(cfg, in); exit != nil {
+		for obj, cur := range exit.(ownFact) {
+			if cur.state&stOwned != 0 {
+				dedup(cur.srcPos, fmt.Sprintf("%s obtained from %s may never be released: a path reaches the end of the function with the payload still owned", obj.Name(), cur.what))
+			}
+		}
+	}
+}

@@ -1,0 +1,119 @@
+package lint
+
+import (
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// Inline suppressions: a comment of the form
+//
+//	//nrmi:ignore <check-id> [reason...]
+//
+// suppresses exactly one finding of that check on the comment's own
+// line, or — when the comment stands alone — on the line directly below
+// it. One comment, one finding: a line that produces two findings of
+// the same check needs two suppressions, so a suppression can never
+// silently widen. A suppression that consumes nothing is itself
+// reported under the pseudo-check ID "unused-suppression", keeping
+// stale ignores from outliving the code they excused — unless the
+// suppressed check is disabled in this run, in which case the
+// suppression is simply dormant.
+
+// suppressionPrefix is the comment marker, chosen to follow the
+// `//tool:directive` convention (no space after //).
+const suppressionPrefix = "nrmi:ignore"
+
+// Suppression is one parsed //nrmi:ignore comment.
+type Suppression struct {
+	// Pos is the comment's position.
+	Pos token.Position
+	// Check is the check ID being suppressed.
+	Check string
+	// Reason is the free-form justification, possibly empty.
+	Reason string
+}
+
+// CollectSuppressions parses every //nrmi:ignore comment in the
+// packages, in deterministic (file, line) order.
+func CollectSuppressions(pkgs []*Package) []Suppression {
+	var sups []Suppression
+	for _, p := range pkgs {
+		for _, f := range p.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					text, ok := strings.CutPrefix(c.Text, "//")
+					if !ok {
+						continue // block comments don't carry directives
+					}
+					text, ok = strings.CutPrefix(text, suppressionPrefix)
+					if !ok {
+						continue
+					}
+					fields := strings.Fields(text)
+					if len(fields) == 0 {
+						continue // no check ID: not a valid directive
+					}
+					sups = append(sups, Suppression{
+						Pos:    p.Fset.Position(c.Pos()),
+						Check:  fields[0],
+						Reason: strings.Join(fields[1:], " "),
+					})
+				}
+			}
+		}
+	}
+	sort.Slice(sups, func(i, j int) bool {
+		a, b := sups[i], sups[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		return a.Pos.Line < b.Pos.Line
+	})
+	return sups
+}
+
+// ApplySuppressions filters diags through the suppressions and appends
+// an "unused-suppression" finding for every comment that consumed
+// nothing. enabled is the run's check filter (nil or empty = all): a
+// suppression for a disabled check is dormant, not unused. diags must
+// be in Run's sorted order so "the first finding on the line" is
+// deterministic.
+func ApplySuppressions(diags []Diagnostic, sups []Suppression, enabled map[string]bool) []Diagnostic {
+	used := make([]bool, len(sups))
+	suppressed := make([]bool, len(diags))
+	for si, s := range sups {
+		for di, d := range diags {
+			if suppressed[di] || d.Check != s.Check || d.Pos.Filename != s.Pos.Filename {
+				continue
+			}
+			// Same line, or the line below a standalone comment.
+			if d.Pos.Line != s.Pos.Line && d.Pos.Line != s.Pos.Line+1 {
+				continue
+			}
+			suppressed[di] = true
+			used[si] = true
+			break // exactly one finding per suppression
+		}
+	}
+	var out []Diagnostic
+	for di, d := range diags {
+		if !suppressed[di] {
+			out = append(out, d)
+		}
+	}
+	for si, s := range sups {
+		if used[si] {
+			continue
+		}
+		if len(enabled) > 0 && !enabled[s.Check] {
+			continue // dormant: its check didn't run
+		}
+		out = append(out, Diagnostic{
+			Pos:     s.Pos,
+			Check:   "unused-suppression",
+			Message: "//nrmi:ignore " + s.Check + " suppresses nothing; remove it or fix the directive",
+		})
+	}
+	return out
+}

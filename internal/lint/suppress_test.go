@@ -1,0 +1,111 @@
+package lint
+
+import (
+	"strings"
+	"testing"
+)
+
+func suppressFixture(t *testing.T) (*Package, []Diagnostic, []Suppression) {
+	t.Helper()
+	p := loadTestdata(t, "suppress")
+	diags := Run([]*Package{p}, nil)
+	sups := CollectSuppressions([]*Package{p})
+	return p, diags, sups
+}
+
+func TestCollectSuppressions(t *testing.T) {
+	_, _, sups := suppressFixture(t)
+	if len(sups) != 4 {
+		t.Fatalf("suppressions = %d, want 4", len(sups))
+	}
+	byCheck := make(map[string]int)
+	for _, s := range sups {
+		byCheck[s.Check]++
+	}
+	if byCheck["atomic-discipline"] != 3 || byCheck["payload-ownership"] != 1 {
+		t.Fatalf("suppression checks = %v", byCheck)
+	}
+	for _, s := range sups {
+		if s.Reason == "" {
+			t.Errorf("suppression at %s has no reason text", s.Pos)
+		}
+	}
+}
+
+func TestApplySuppressions(t *testing.T) {
+	_, diags, sups := suppressFixture(t)
+	// Raw: 5 atomic findings (ReadIgnored, ReadIgnoredStandalone,
+	// ReadFlagged, DoubleRead x2).
+	if len(diags) != 5 {
+		t.Fatalf("raw findings = %d, want 5: %v", len(diags), diags)
+	}
+	out := ApplySuppressions(diags, sups, nil)
+	var kept, unused int
+	for _, d := range out {
+		switch d.Check {
+		case "atomic-discipline":
+			kept++
+		case "unused-suppression":
+			unused++
+			if !strings.Contains(d.Message, "payload-ownership") {
+				t.Errorf("unused-suppression should name its check: %s", d)
+			}
+		default:
+			t.Errorf("unexpected check in output: %s", d)
+		}
+	}
+	// ReadFlagged plus exactly one of DoubleRead's two findings survive:
+	// each suppression consumes exactly one finding.
+	if kept != 2 {
+		t.Errorf("atomic findings after suppression = %d, want 2", kept)
+	}
+	if unused != 1 {
+		t.Errorf("unused-suppression warnings = %d, want 1", unused)
+	}
+}
+
+// TestSuppressionsDormantWhenCheckDisabled: running a subset of checks
+// must not flag suppressions for checks that did not run.
+func TestSuppressionsDormantWhenCheckDisabled(t *testing.T) {
+	p := loadTestdata(t, "suppress")
+	enabled := map[string]bool{"span-end": true}
+	diags := Run([]*Package{p}, enabled)
+	out := ApplySuppressions(diags, CollectSuppressions([]*Package{p}), enabled)
+	if len(out) != 0 {
+		t.Fatalf("expected no findings with only span-end enabled, got %v", out)
+	}
+}
+
+// TestSuppressionExactlyOne pins the one-comment-one-finding contract
+// directly on the DoubleRead line.
+func TestSuppressionExactlyOne(t *testing.T) {
+	_, diags, sups := suppressFixture(t)
+	out := ApplySuppressions(diags, sups, nil)
+	var doubleLine int
+	for _, d := range diags {
+		if strings.Contains(d.Message, "n is accessed") {
+			// Find the line with two findings.
+			count := 0
+			for _, e := range diags {
+				if e.Pos.Line == d.Pos.Line {
+					count++
+				}
+			}
+			if count == 2 {
+				doubleLine = d.Pos.Line
+			}
+		}
+	}
+	if doubleLine == 0 {
+		t.Fatal("fixture must contain a line with two findings")
+	}
+	survivors := 0
+	for _, d := range out {
+		if d.Pos.Line == doubleLine {
+			survivors++
+		}
+	}
+	if survivors != 1 {
+		t.Fatalf("findings surviving on the double line = %d, want 1", survivors)
+	}
+}

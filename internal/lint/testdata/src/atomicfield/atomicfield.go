@@ -1,0 +1,63 @@
+// Package atomicfield exercises the atomic-discipline check: a field or
+// variable ever accessed through sync/atomic belongs to a lock-free
+// protocol, and every other access must be atomic too.
+package atomicfield
+
+import "sync/atomic"
+
+type counters struct {
+	// hits is part of the atomic protocol (see Inc).
+	hits int64
+	// plain never sees sync/atomic and may be accessed freely.
+	plain int64
+}
+
+// Inc is the access that puts hits under the atomic protocol.
+func (c *counters) Inc() {
+	atomic.AddInt64(&c.hits, 1)
+}
+
+// BadRead reads the atomic field without sync/atomic: racy against Inc.
+func (c *counters) BadRead() int64 {
+	return c.hits // want `hits is accessed atomically at .*\.go:\d+ but non-atomically here`
+}
+
+// BadWrite resets the atomic field with a plain store.
+func (c *counters) BadWrite() {
+	c.hits = 0 // want `hits is accessed atomically at .*\.go:\d+ but non-atomically here`
+}
+
+// GoodRead goes through sync/atomic.
+func (c *counters) GoodRead() int64 {
+	return atomic.LoadInt64(&c.hits)
+}
+
+// GoodSwap uses a different atomic entry point on the same field.
+func (c *counters) GoodSwap() int64 {
+	return atomic.SwapInt64(&c.hits, 0)
+}
+
+// PlainCounter touches only the non-atomic field — no findings.
+func (c *counters) PlainCounter() int64 {
+	c.plain++
+	return c.plain
+}
+
+// New performs construction-time initialization, which is exempt: the
+// value is not shared yet.
+func New() *counters {
+	return &counters{hits: 0, plain: 0}
+}
+
+// generation is a package-level variable under the atomic protocol.
+var generation uint64
+
+// Bump is the sanctioned access.
+func Bump() uint64 {
+	return atomic.AddUint64(&generation, 1)
+}
+
+// BadSnapshot reads the package variable plainly.
+func BadSnapshot() uint64 {
+	return generation // want `generation is accessed atomically at .*\.go:\d+ but non-atomically here`
+}

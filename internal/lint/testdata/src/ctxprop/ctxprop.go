@@ -1,0 +1,102 @@
+// Package ctxprop exercises the ctx-propagation check: a function that
+// receives a context.Context must thread it — not a fresh
+// Background/TODO root, even laundered through locals or context.With*
+// derivation chains — into its outgoing calls.
+package ctxprop
+
+import (
+	"context"
+	"time"
+)
+
+func remote(ctx context.Context, arg string) error {
+	_ = ctx
+	_ = arg
+	return nil
+}
+
+// BadDirect mints a root context inline.
+func BadDirect(ctx context.Context) error {
+	return remote(context.Background(), "x") // want `fresh context rooted at context\.Background`
+}
+
+// BadTODO is the same bug with the other constructor.
+func BadTODO(ctx context.Context) error {
+	return remote(context.TODO(), "x") // want `fresh context rooted at context\.TODO`
+}
+
+// BadLaundered derives a timeout from a fresh root instead of the
+// inbound context: the deadline applies, the caller's cancellation does
+// not. The With call itself is not the violation — handing its result
+// to the outgoing call is.
+func BadLaundered(ctx context.Context) error {
+	c, cancel := context.WithTimeout(context.Background(), time.Second)
+	defer cancel()
+	return remote(c, "x") // want `fresh context rooted at context\.Background`
+}
+
+// BadAliased launders freshness through a chain of locals.
+func BadAliased(ctx context.Context) error {
+	c := context.Background()
+	d := c
+	return remote(d, "x") // want `fresh context rooted at context\.Background`
+}
+
+// BadInlineDerived derives inline from a fresh root.
+func BadInlineDerived(ctx context.Context) error {
+	return remote(context.WithValue(context.Background(), ctxKey{}, 1), "x") // want `fresh context rooted at context\.Background`
+}
+
+type ctxKey struct{}
+
+// BadBranch is fresh on only one path: the call may still detach, so it
+// is flagged.
+func BadBranch(ctx context.Context, cond bool) error {
+	c := ctx
+	if cond {
+		c = context.Background()
+	}
+	return remote(c, "x") // want `fresh context rooted at context\.Background`
+}
+
+// BadLitWithParam: a function literal that declares its own context
+// parameter is held to the same contract.
+var _ = func(ctx context.Context) error {
+	return remote(context.Background(), "x") // want `fresh context rooted at context\.Background`
+}
+
+// GoodThreads passes the inbound context straight through.
+func GoodThreads(ctx context.Context) error {
+	return remote(ctx, "x")
+}
+
+// GoodDerived derives from the inbound context, preserving
+// cancellation.
+func GoodDerived(ctx context.Context) error {
+	c, cancel := context.WithTimeout(ctx, time.Second)
+	defer cancel()
+	return remote(c, "x")
+}
+
+// GoodReassigned: the fresh local is cured before any outgoing call
+// sees it.
+func GoodReassigned(ctx context.Context) error {
+	c := context.Background()
+	c = ctx
+	return remote(c, "x")
+}
+
+// GoodNoParam has no inbound context to thread: roots are its only
+// option (e.g. main, tests, accept loops).
+func GoodNoParam() error {
+	return remote(context.Background(), "x")
+}
+
+// GoodDetachedLit: the nested literal declares no context parameter, so
+// launching deliberately detached background work stays expressible.
+func GoodDetachedLit(ctx context.Context) {
+	go func() {
+		_ = remote(context.Background(), "bg")
+	}()
+	_ = remote(ctx, "fg")
+}

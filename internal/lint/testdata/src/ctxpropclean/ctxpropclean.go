@@ -1,0 +1,59 @@
+// Package ctxpropclean is the clean twin of ctxprop: context-threading
+// idioms the repository actually uses, which must produce zero
+// ctx-propagation findings.
+package ctxpropclean
+
+import (
+	"context"
+	"time"
+)
+
+func remote(ctx context.Context, arg string) error {
+	_ = ctx
+	_ = arg
+	return nil
+}
+
+// Interceptor mirrors the nrmi interceptor shape: derive from the
+// inbound context and hand the derivation to next.
+func Interceptor(ctx context.Context, info string, next func(context.Context) error) error {
+	_ = info
+	c, cancel := context.WithTimeout(ctx, 50*time.Millisecond)
+	defer cancel()
+	return next(c)
+}
+
+// Chain threads through several derivations.
+func Chain(ctx context.Context) error {
+	a := context.WithValue(ctx, key{}, "v")
+	b, cancel := context.WithDeadline(a, time.Now().Add(time.Second))
+	defer cancel()
+	return remote(b, "x")
+}
+
+type key struct{}
+
+// Server has no inbound context; Background is the correct root here.
+func Server() error {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	return remote(ctx, "serve")
+}
+
+// SpawnDetached launches deliberately detached work from a literal with
+// no context parameter of its own.
+func SpawnDetached(ctx context.Context, done chan error) {
+	go func() {
+		done <- remote(context.Background(), "audit")
+	}()
+	_ = remote(ctx, "main")
+}
+
+// PassesErrGroupStyle forwards the same inbound context to several
+// calls.
+func PassesErrGroupStyle(ctx context.Context) error {
+	if err := remote(ctx, "a"); err != nil {
+		return err
+	}
+	return remote(ctx, "b")
+}

@@ -1,0 +1,111 @@
+// Package payloadclean is the clean twin of payloadown: realistic
+// mirrors of the repository's own hot-path shapes (transport read loop,
+// write path, connection serving) that must produce zero
+// payload-ownership findings. Any diagnostic here is a precision
+// regression in the check.
+package payloadclean
+
+import (
+	"io"
+
+	"nrmi/internal/lint/testdata/src/payloadown/bufpool"
+)
+
+type frame struct {
+	id      uint64
+	payload []byte
+}
+
+func readFrame(r io.Reader) (frame, error) {
+	p := bufpool.Get(32)
+	if _, err := io.ReadFull(r, p); err != nil {
+		bufpool.Put(p)
+		return frame{}, err
+	}
+	return frame{id: 7, payload: p}, nil
+}
+
+func ReleasePayload(p []byte) { bufpool.Put(p) }
+
+func handle(f frame) { ReleasePayload(f.payload) }
+
+// WriteFrame mirrors the transport write path: get, borrow to the
+// writer, put.
+func WriteFrame(w io.Writer, n int) error {
+	buf := bufpool.Get(n)
+	_, err := w.Write(buf)
+	bufpool.Put(buf)
+	return err
+}
+
+// ReadLoop mirrors the transport read loop: each iteration's frame is
+// either consumed by the error exit or handed to a channel.
+func ReadLoop(r io.Reader, replies chan frame) error {
+	for {
+		f, err := readFrame(r)
+		if err != nil {
+			return err
+		}
+		replies <- f
+	}
+}
+
+// ServeConn mirrors the server dispatch: the frame moves into a
+// goroutine, which owns it from then on; the loop variable is reused
+// next iteration without a leak.
+func ServeConn(r io.Reader) error {
+	for {
+		f, err := readFrame(r)
+		if err != nil {
+			return err
+		}
+		go handle(f)
+	}
+}
+
+// ReadString mirrors wire's string decoding: borrow into the
+// conversion, then put.
+func ReadString(r io.Reader, n int) (string, error) {
+	p := bufpool.Get(n)
+	if _, err := io.ReadFull(r, p); err != nil {
+		bufpool.Put(p)
+		return "", err
+	}
+	s := string(p)
+	bufpool.Put(p)
+	return s, nil
+}
+
+// Inflate mirrors the decompression path: the pooled buffer is released
+// and the variable rebound to an unpooled replacement that is returned.
+func Inflate(r io.Reader, n int) ([]byte, error) {
+	payload := bufpool.Get(n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		bufpool.Put(payload)
+		return nil, err
+	}
+	inflated := append([]byte(nil), payload...)
+	bufpool.Put(payload)
+	payload = inflated
+	return payload, nil
+}
+
+// CallWithRetry mirrors the rmi client's release-wrapper idiom: the
+// payload from each attempt is released through a counting wrapper.
+type client struct{ released int }
+
+func (c *client) releasePayload(p []byte) {
+	if p != nil {
+		c.released++
+		ReleasePayload(p)
+	}
+}
+
+func (c *client) Ping(r io.Reader) error {
+	f, err := readFrame(r)
+	if err != nil {
+		return err
+	}
+	c.releasePayload(f.payload)
+	return nil
+}

@@ -1,0 +1,48 @@
+package payloadown
+
+import (
+	"context"
+	"io"
+)
+
+// CallReplyRace re-introduces the reply-path leak fixed in the
+// observability PR: the transport client raced a context cancellation
+// against the reply arriving, and the cancellation branch returned
+// without releasing the reply payload that had already been read. The
+// fixture collapses that shape into one function so the intraprocedural
+// analysis sees it: a checked read produces an owned frame, a select
+// races it against ctx.Done(), and the cancellation arm forgets the
+// payload.
+func CallReplyRace(ctx context.Context, r io.Reader) ([]byte, error) {
+	f, err := readFrame(r)
+	if err != nil {
+		return nil, err
+	}
+	select {
+	case <-ctx.Done():
+		// BUG (reverted fix): f.payload is dropped on the floor here.
+		return nil, ctx.Err() // want `f \(from readFrame at line \d+\) may not be released on a path reaching this return`
+	default:
+	}
+	out := append([]byte(nil), f.payload...)
+	ReleasePayload(f.payload)
+	return out, nil
+}
+
+// CallReplyRaceFixed is the shape after the fix: the cancellation arm
+// releases before returning, and the check is satisfied.
+func CallReplyRaceFixed(ctx context.Context, r io.Reader) ([]byte, error) {
+	f, err := readFrame(r)
+	if err != nil {
+		return nil, err
+	}
+	select {
+	case <-ctx.Done():
+		ReleasePayload(f.payload)
+		return nil, ctx.Err()
+	default:
+	}
+	out := append([]byte(nil), f.payload...)
+	ReleasePayload(f.payload)
+	return out, nil
+}

@@ -1,0 +1,41 @@
+// Package suppress exercises //nrmi:ignore handling: same-line and
+// standalone forms, one-finding-per-comment consumption, and the
+// unused-suppression warning. It deliberately violates
+// atomic-discipline so there is something to suppress.
+package suppress
+
+import "sync/atomic"
+
+var n int64
+
+// Bump puts n under the atomic protocol.
+func Bump() { atomic.AddInt64(&n, 1) }
+
+// ReadIgnored is suppressed by a same-line comment.
+func ReadIgnored() int64 {
+	return n //nrmi:ignore atomic-discipline intentional racy stats read
+}
+
+// ReadIgnoredStandalone is suppressed by a comment on the line above.
+func ReadIgnoredStandalone() int64 {
+	//nrmi:ignore atomic-discipline standalone form covers the next line
+	return n
+}
+
+// ReadFlagged carries no suppression and must still be reported.
+func ReadFlagged() int64 {
+	return n
+}
+
+// DoubleRead produces two findings on one line; the single suppression
+// consumes exactly one of them.
+func DoubleRead() int64 {
+	return n + n //nrmi:ignore atomic-discipline only one of the two
+}
+
+// The next directive suppresses nothing: it must be reported as an
+// unused suppression when payload-ownership is among the enabled
+// checks.
+//
+//nrmi:ignore payload-ownership there is no finding here
+var unrelated = 42

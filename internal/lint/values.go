@@ -1,0 +1,208 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// This file is the alias-lite value layer shared by the flow-sensitive
+// checks: it resolves expressions to the local variables (types.Object)
+// the dataflow facts are keyed by, and classifies the calls that create
+// and discharge payload-ownership obligations. Tracking is deliberately
+// local — named locals and struct-field reads of tracked locals — which
+// is the precision level the repo's own hot paths need and the level at
+// which diagnostics stay actionable.
+
+// localOf resolves an expression to the local variable object it names:
+// a plain identifier, or the base identifier of a selector like
+// f.payload (returning f's object). Returns nil for anything else.
+func localOf(info *types.Info, e ast.Expr) types.Object {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		if obj := info.Uses[x]; obj != nil {
+			return obj
+		}
+		return info.Defs[x]
+	case *ast.SelectorExpr:
+		return localOf(info, x.X)
+	}
+	return nil
+}
+
+// payloadKind classifies what a source call hands its caller.
+type payloadKind int
+
+const (
+	// payloadNone: the call is not a payload source.
+	payloadNone payloadKind = iota
+	// payloadBytes: the call returns an owned []byte (bufpool.Get).
+	payloadBytes
+	// payloadStruct: the call returns a payload-bearing struct — one
+	// with a field named "payload" of type []byte (transport.readFrame
+	// and its mirrors). The obligation rides the struct value; it is
+	// discharged by releasing the .payload field or transferring the
+	// whole struct.
+	payloadStruct
+)
+
+// calleeFunc resolves the called function object, seeing through
+// selectors and parentheses. Nil for indirect calls through values.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		fn, _ := info.Uses[fun].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		fn, _ := info.Uses[fun.Sel].(*types.Func)
+		return fn
+	}
+	return nil
+}
+
+// payloadSource classifies a call as an ownership source. The match is
+// structural, like every nrmi-vet check, so the testdata mirrors work
+// without importing the real packages:
+//
+//   - a package-level function named Get in a package named bufpool
+//     returning []byte;
+//   - any function or method whose first result is a struct type — or
+//     pointer to one — with a field named payload of type []byte (the
+//     transport frame shape).
+func payloadSource(info *types.Info, call *ast.CallExpr) payloadKind {
+	fn := calleeFunc(info, call)
+	if fn == nil {
+		return payloadNone
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Results().Len() == 0 {
+		return payloadNone
+	}
+	res0 := sig.Results().At(0).Type()
+	if ptr, okPtr := res0.Underlying().(*types.Pointer); okPtr {
+		res0 = ptr.Elem()
+	}
+	if fn.Name() == "Get" && sig.Recv() == nil &&
+		fn.Pkg() != nil && fn.Pkg().Name() == "bufpool" && isByteSlice(res0) {
+		return payloadBytes
+	}
+	if isPayloadStruct(res0) {
+		return payloadStruct
+	}
+	return payloadNone
+}
+
+// isByteSlice reports whether t is []byte (possibly via alias).
+func isByteSlice(t types.Type) bool {
+	sl, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	basic, ok := sl.Elem().Underlying().(*types.Basic)
+	return ok && basic.Kind() == types.Byte
+}
+
+// isPayloadStruct reports whether t is a struct with a []byte field
+// named "payload" — the frame shape whose buffer is pool-owned.
+func isPayloadStruct(t types.Type) bool {
+	st, ok := t.Underlying().(*types.Struct)
+	if !ok {
+		return false
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		f := st.Field(i)
+		if f.Name() == "payload" && isByteSlice(f.Type()) {
+			return true
+		}
+	}
+	return false
+}
+
+// releaseTarget returns the expression whose payload a call releases,
+// or nil when the call is not a release. The release family is:
+//
+//   - ReleasePayload(p) / releasePayload(p) — transport's exported
+//     release and the rmi client's counting wrapper, by name on any
+//     receiver so metric-wrapping stays in the family;
+//   - Put(p) as a package-level function of a package named bufpool;
+//   - Put(p) as a method on sync.Pool.
+func releaseTarget(info *types.Info, call *ast.CallExpr) ast.Expr {
+	fn := calleeFunc(info, call)
+	if fn == nil || len(call.Args) != 1 {
+		return nil
+	}
+	switch fn.Name() {
+	case "ReleasePayload", "releasePayload":
+		return call.Args[0]
+	case "Put":
+		if fn.Pkg() != nil && fn.Pkg().Name() == "bufpool" {
+			return call.Args[0]
+		}
+		if recv := recvType(fn); recv != nil && isSyncPoolType(recv) {
+			return call.Args[0]
+		}
+	}
+	return nil
+}
+
+// recvType returns the receiver type of a method, nil for functions.
+func recvType(fn *types.Func) types.Type {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return nil
+	}
+	return sig.Recv().Type()
+}
+
+// isSyncPoolType reports whether t is sync.Pool or *sync.Pool.
+func isSyncPoolType(t types.Type) bool {
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := types.Unalias(t).(*types.Named)
+	return ok && named.Obj().Name() == "Pool" &&
+		named.Obj().Pkg() != nil && named.Obj().Pkg().Path() == "sync"
+}
+
+// usesObject reports whether the subtree rooted at n references obj,
+// by identifier resolution (closures capture by reference, so a match
+// inside a nested function literal counts).
+func usesObject(info *types.Info, n ast.Node, obj types.Object) bool {
+	found := false
+	ast.Inspect(n, func(m ast.Node) bool {
+		if found {
+			return false
+		}
+		if id, ok := m.(*ast.Ident); ok && info.Uses[id] == obj {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// nilComparison decodes a binary comparison of an identifier against
+// nil: it returns the compared object and whether the operator is !=
+// (eqIsNil false) or == (eqIsNil true). ok is false for anything else.
+func nilComparison(info *types.Info, e ast.Expr) (obj types.Object, isNeq bool, ok bool) {
+	bin, okBin := ast.Unparen(e).(*ast.BinaryExpr)
+	if !okBin {
+		return nil, false, false
+	}
+	opNeq := bin.Op.String() == "!="
+	if !opNeq && bin.Op.String() != "==" {
+		return nil, false, false
+	}
+	x, y := ast.Unparen(bin.X), ast.Unparen(bin.Y)
+	if isNilIdent(y) {
+		if id, okID := x.(*ast.Ident); okID {
+			return info.Uses[id], opNeq, info.Uses[id] != nil
+		}
+	}
+	if isNilIdent(x) {
+		if id, okID := y.(*ast.Ident); okID {
+			return info.Uses[id], opNeq, info.Uses[id] != nil
+		}
+	}
+	return nil, false, false
+}
