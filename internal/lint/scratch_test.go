@@ -1,0 +1,10 @@
+package lint
+
+import "testing"
+
+func TestScratchOwn(t *testing.T) {
+	p := loadTestdata(t, "scratchown")
+	for _, d := range checkPayloadOwnership(p) {
+		t.Logf("diag: %s", d)
+	}
+}

@@ -1,0 +1,11 @@
+// Package bufpool mirrors internal/bufpool by name and shape: the
+// payload-ownership check matches sources and releases structurally
+// (package named bufpool, Get returning []byte, Put taking []byte), so
+// the testdata stays self-contained.
+package bufpool
+
+// Get hands out an owned buffer.
+func Get(n int) []byte { return make([]byte, n) }
+
+// Put returns a buffer to the pool.
+func Put(p []byte) { _ = p }

@@ -1,0 +1,28 @@
+// Package scratchown is a scratch fixture.
+package scratchown
+
+import "nrmi/internal/lint/testdata/src/payloadown/bufpool"
+
+func consume(p []byte) { _ = p }
+
+// LeakZeroIter leaks p when items is empty: the only release is inside
+// the loop body, which may run zero times.
+func LeakZeroIter(items []int) {
+	p := bufpool.Get(64)
+	for range items {
+		consume(p)
+	}
+	if len(items) > 0 {
+		bufpool.Put(p)
+	}
+}
+
+// LeakZeroIterRange: release only inside range body.
+func LeakZeroIterRange(items []int) {
+	p := bufpool.Get(64)
+	for range items {
+		bufpool.Put(p)
+		p = bufpool.Get(64)
+	}
+	consume(p)
+}
