@@ -36,6 +36,7 @@ ci: build
 		echo "lint exceeded its 30s runtime budget" >&2; exit 1; \
 	fi
 	$(GO) test -race ./...
+	$(GO) test -race -count=1 -run 'TestV3|TestV2Client|TestQuickRemoteEqualsLocal' ./internal/wire/ ./internal/core/ ./internal/rmi/
 	$(GO) run ./cmd/nrmi-vet -format sarif ./... > nrmi-vet.sarif
 	@echo "wrote nrmi-vet.sarif"
 
@@ -62,8 +63,12 @@ bench:
 # Perf-regression gate: a short kernels-on/off ablation run (Table 2 and
 # Table 5 workloads, size 256). Fails if the compiled kernels stop cutting
 # at least 30% of allocs/op, and refreshes the BENCH_4.json snapshot.
+# The second leg is the engine ablation (flat V3 frames + arena restore vs
+# V2-kernels): fails unless V3 allocates strictly less per op on every
+# workload and cuts allocs/op by at least 30%; refreshes BENCH_6.json.
 bench-smoke:
 	$(GO) run ./cmd/nrmi-bench -smoke BENCH_4.json
+	$(GO) run ./cmd/nrmi-bench -smoke-v3 BENCH_6.json
 
 # Observability smoke gate: run a scenario-III workload with a phase
 # observer on both endpoints, scrape and schema-check the debug endpoints,

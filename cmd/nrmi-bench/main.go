@@ -37,6 +37,8 @@ func main() {
 		table       = flag.String("table", "", "only print tables whose id contains this substring (e.g. 5); all tables still run")
 		smoke       = flag.String("smoke", "", "run the kernel-ablation smoke benchmark, write the JSON snapshot to this path, and exit")
 		smokeMin    = flag.Float64("smoke-min-reduction", 30, "minimum allocs/op reduction (percent, kernels on vs. off) the smoke run must show; 0 disables the gate")
+		smokeV3     = flag.String("smoke-v3", "", "run the engine-V3 ablation smoke benchmark (v3 vs v2-kernels), write the JSON snapshot to this path, and exit")
+		smokeV3Min  = flag.Float64("smoke-v3-min-reduction", 30, "minimum allocs/op reduction (percent, v3 vs v2-kernels) the V3 smoke run must show; 0 disables the gate")
 		phases      = flag.Bool("phases", false, "run the per-phase breakdown (scenario III, kernels on/off) and exit")
 		obsSmoke    = flag.Bool("obs-smoke", false, "run the observability smoke gate (debug endpoints + nop-overhead check) and exit")
 		obsMax      = flag.Float64("obs-max-overhead", 2, "maximum disabled-path instrumentation overhead (percent of a scenario-III call) the obs smoke tolerates")
@@ -45,6 +47,13 @@ func main() {
 
 	if *smoke != "" {
 		if err := runSmoke(*smoke, *smokeMin); err != nil {
+			log.Fatalf("nrmi-bench: %v", err)
+		}
+		return
+	}
+
+	if *smokeV3 != "" {
+		if err := runSmokeV3(*smokeV3, *smokeV3Min); err != nil {
 			log.Fatalf("nrmi-bench: %v", err)
 		}
 		return
@@ -158,6 +167,55 @@ func runSmoke(path string, minReduction float64) error {
 		for name, pct := range snap.AllocReductionPct {
 			if pct < minReduction {
 				return fmt.Errorf("perf regression: %s allocs/op reduction %.1f%% below the %.0f%% gate", name, pct, minReduction)
+			}
+		}
+	}
+	return nil
+}
+
+// runSmokeV3 runs the engine ablation (V3 flat frames vs the V2-kernels
+// previous best), writes the BENCH_6 snapshot to path, and enforces the
+// flat-format gate: V3 must allocate strictly less per op than V2-kernels
+// on every workload, and cut allocs/op by at least minReduction percent.
+func runSmokeV3(path string, minReduction float64) error {
+	snap, err := bench.RunBenchSmokeV3()
+	if err != nil {
+		return err
+	}
+	for _, c := range snap.Cells {
+		fmt.Fprintf(os.Stderr, "%-14s %-10s %8d ns/op %10d B/op %7d allocs/op\n",
+			c.Bench, c.Variant, c.NsPerOp, c.BytesPerOp, c.AllocsPerOp)
+	}
+	for name, pct := range snap.AllocReductionPct {
+		fmt.Fprintf(os.Stderr, "%-14s v3 cuts allocs/op by %.1f%% vs v2-kernels (time by %.1f%%)\n",
+			name, pct, snap.NsReductionPct[name])
+	}
+	data, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	perBench := make(map[string][2]int64) // bench -> [v3, v2-kernels] allocs/op
+	for _, c := range snap.Cells {
+		pair := perBench[c.Bench]
+		if c.Variant == "v3" {
+			pair[0] = c.AllocsPerOp
+		} else {
+			pair[1] = c.AllocsPerOp
+		}
+		perBench[c.Bench] = pair
+	}
+	for name, pair := range perBench {
+		if pair[0] >= pair[1] {
+			return fmt.Errorf("perf regression: %s v3 allocs/op %d not below v2-kernels %d", name, pair[0], pair[1])
+		}
+	}
+	if minReduction > 0 {
+		for name, pct := range snap.AllocReductionPct {
+			if pct < minReduction {
+				return fmt.Errorf("perf regression: %s v3 allocs/op reduction %.1f%% below the %.0f%% gate", name, pct, minReduction)
 			}
 		}
 	}

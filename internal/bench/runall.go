@@ -282,6 +282,84 @@ type BenchSnapshot struct {
 	NsReductionPct map[string]float64 `json:"ns_reduction_pct"`
 }
 
+// RunBenchSmokeV3 measures the engine ablation for the flat-format
+// perf-regression gate: the V2-with-kernels configuration (the previous
+// best) against engine V3's flat frames with arena-backed zero-copy
+// restore, over the same two workloads as RunBenchSmoke — one-way
+// call-by-copy (Table 2) and full copy-restore (Table 5), Scenario III at
+// size 256. The snapshot is BENCH_6.json; the gate demands V3 allocate
+// strictly less per op than V2-kernels.
+func RunBenchSmokeV3() (*BenchSnapshot, error) {
+	const size = 256
+	sc := ScenarioIII
+	runs := []struct {
+		bench string
+		run   func(e *Env, spec RunSpec) (Cell, error)
+	}{
+		{"Table2OneWay", RunOneWay},
+		{"Table5NRMI", RunNRMI},
+	}
+	variants := []struct {
+		name string
+		eng  wire.Engine
+	}{{"v3", wire.EngineV3}, {"v2-kernels", wire.EngineV2}}
+
+	snap := &BenchSnapshot{
+		Issue:             6,
+		AllocReductionPct: make(map[string]float64),
+		NsReductionPct:    make(map[string]float64),
+	}
+	for _, r := range runs {
+		var cells [2]BenchCell
+		for i, v := range variants {
+			e, err := NewEnv(EnvConfig{Profile: netsim.Loopback(), Engine: v.eng})
+			if err != nil {
+				return nil, fmt.Errorf("bench: v3 smoke env %s/%s: %w", r.bench, v.name, err)
+			}
+			// First call verifies the restore invariant under the exact
+			// engine being measured, then the timed loop varies the seed.
+			if _, err := r.run(e, RunSpec{Scenario: sc, Size: size, Iterations: 1, Seed: 1, Verify: true}); err != nil {
+				_ = e.Close()
+				return nil, fmt.Errorf("bench: v3 smoke warmup %s/%s: %w", r.bench, v.name, err)
+			}
+			var benchErr error
+			seed := int64(1)
+			res := testing.Benchmark(func(b *testing.B) {
+				b.ReportAllocs()
+				for n := 0; n < b.N; n++ {
+					seed++
+					if _, err := r.run(e, RunSpec{Scenario: sc, Size: size, Iterations: 1, Seed: seed}); err != nil {
+						benchErr = err
+						b.FailNow()
+					}
+				}
+			})
+			_ = e.Close()
+			if benchErr != nil {
+				return nil, fmt.Errorf("bench: v3 smoke %s/%s: %w", r.bench, v.name, benchErr)
+			}
+			cells[i] = BenchCell{
+				Bench:       r.bench,
+				Variant:     v.name,
+				Scenario:    sc.String(),
+				Size:        size,
+				NsPerOp:     res.NsPerOp(),
+				BytesPerOp:  res.AllocedBytesPerOp(),
+				AllocsPerOp: res.AllocsPerOp(),
+			}
+			snap.Cells = append(snap.Cells, cells[i])
+		}
+		v3, v2 := cells[0], cells[1]
+		if v2.AllocsPerOp > 0 {
+			snap.AllocReductionPct[r.bench] = 100 * (1 - float64(v3.AllocsPerOp)/float64(v2.AllocsPerOp))
+		}
+		if v2.NsPerOp > 0 {
+			snap.NsReductionPct[r.bench] = 100 * (1 - float64(v3.NsPerOp)/float64(v2.NsPerOp))
+		}
+	}
+	return snap, nil
+}
+
 // RunBenchSmoke measures the kernel ablation for the perf-regression gate:
 // one-way call-by-copy (Table 2) and full copy-restore (Table 5, optimized
 // row), Scenario III at size 256, kernels on and off. Each variant's first

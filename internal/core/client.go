@@ -177,11 +177,15 @@ func (c *Call) restorableSet() ([]int, error) {
 	return ids, nil
 }
 
-// pendingRestore pairs a seeded original with the decoded temporary whose
-// contents will overwrite it during the commit phase.
+// pendingRestore pairs a seeded original with its validated "modified
+// version". Under engines V1/V2 that is a decoded staging temporary (tmp);
+// under engine V3 it is a zero-copy content record (flat) still sitting in
+// the receive buffer, validated by DecodeSeededFlat and committed straight
+// into the original.
 type pendingRestore struct {
 	orig reflect.Value
 	tmp  reflect.Value
+	flat *wire.FlatContent
 }
 
 // ApplyResponse reads the server's restore section and return values from r
@@ -200,11 +204,31 @@ func (c *Call) ApplyResponse(r io.Reader) (*Response, error) {
 	} else {
 		dec = wire.NewDecoder(r, c.opts.wireOptions())
 	}
+	return c.apply(dec, kernels)
+}
 
+// ApplyResponseBytes is ApplyResponse for a response held in memory. Engine
+// V3 decodes it by slicing — content records are validated and committed
+// straight out of data — so the caller must keep data alive and unmodified
+// until ApplyResponseBytes returns, and only then recycle the buffer. This
+// is the intended entry point for transports with pooled receive payloads.
+func (c *Call) ApplyResponseBytes(data []byte) (*Response, error) {
+	kernels := c.opts.kernelsEnabled()
+	var dec *wire.Decoder
+	if kernels {
+		dec = wire.AcquireDecoderBytes(data, c.opts.wireOptions())
+	} else {
+		dec = wire.NewDecoderBytes(data, c.opts.wireOptions())
+	}
+	return c.apply(dec, kernels)
+}
+
+func (c *Call) apply(dec *wire.Decoder, kernels bool) (*Response, error) {
 	sp := c.oc.Start(obs.PhaseMapWalk)
 	set, err := c.restorableSet()
 	sp.EndN(0, int64(len(set)))
 	if err != nil {
+		dec.ReleaseArena()
 		return nil, err
 	}
 
@@ -212,6 +236,12 @@ func (c *Call) ApplyResponse(r io.Reader) (*Response, error) {
 	updates, rets, numSeeded, err := c.decodeReply(dec, set)
 	sp.EndN(dec.BytesRead(), int64(len(updates)))
 	if err != nil {
+		// Abandon the response with the caller's graph untouched: drop the
+		// pending zero-copy records and the arena, each released exactly
+		// once. The decoder itself is not recycled — partially decoded
+		// state may still reference its table.
+		releaseFlats(updates)
+		dec.ReleaseArena()
 		return nil, err
 	}
 
@@ -219,6 +249,8 @@ func (c *Call) ApplyResponse(r io.Reader) (*Response, error) {
 	err = commitUpdates(kernels, updates)
 	sp.EndN(0, int64(len(updates)))
 	if err != nil {
+		releaseFlats(updates)
+		dec.ReleaseArena()
 		return nil, err
 	}
 
@@ -230,8 +262,18 @@ func (c *Call) ApplyResponse(r io.Reader) (*Response, error) {
 	}
 	if kernels {
 		wire.ReleaseDecoder(dec)
+	} else {
+		dec.ReleaseArena()
 	}
 	return resp, nil
+}
+
+// releaseFlats drops any pending zero-copy content records (no-op for
+// entries already committed or for the V1/V2 staging path).
+func releaseFlats(updates []pendingRestore) {
+	for _, u := range updates {
+		u.flat.Release()
+	}
 }
 
 // decodeReply seeds the response decoder and consumes the restore section
@@ -262,14 +304,26 @@ func (c *Call) decodeReply(dec *wire.Decoder, set []int) (updates []pendingResto
 	for i := uint64(0); i < n; i++ {
 		id, err := dec.DecodeUint()
 		if err != nil {
-			return nil, nil, numSeeded, fmt.Errorf("core: reading restore id: %w", err)
+			return updates, nil, numSeeded, fmt.Errorf("core: reading restore id: %w", err)
 		}
 		if id >= uint64(numSeeded) {
-			return nil, nil, numSeeded, fmt.Errorf("%w: content record for unknown object %d", ErrBadResponse, id)
+			return updates, nil, numSeeded, fmt.Errorf("%w: content record for unknown object %d", ErrBadResponse, id)
+		}
+		if dec.Engine() == wire.EngineV3 {
+			// Zero-copy restore: validate the record in place and retain it
+			// as bytes; no staging temporary is materialized. Validation
+			// completes for every record before the first commit, so the
+			// two-phase bit-identical-on-failure guarantee is unchanged.
+			fc, err := dec.DecodeSeededFlat(int(id))
+			if err != nil {
+				return updates, nil, numSeeded, fmt.Errorf("core: decoding content for object %d: %w", id, err)
+			}
+			updates = append(updates, pendingRestore{orig: seeded[id], flat: fc})
+			continue
 		}
 		tmp, err := dec.DecodeSeededContent(int(id))
 		if err != nil {
-			return nil, nil, numSeeded, fmt.Errorf("core: decoding content for object %d: %w", id, err)
+			return updates, nil, numSeeded, fmt.Errorf("core: decoding content for object %d: %w", id, err)
 		}
 		updates = append(updates, pendingRestore{orig: seeded[id], tmp: tmp})
 	}
@@ -278,13 +332,13 @@ func (c *Call) decodeReply(dec *wire.Decoder, set []int) (updates []pendingResto
 	// returned data and restored parameters is preserved.
 	nret, err := dec.DecodeUint()
 	if err != nil {
-		return nil, nil, numSeeded, fmt.Errorf("core: reading return count: %w", err)
+		return updates, nil, numSeeded, fmt.Errorf("core: reading return count: %w", err)
 	}
 	rets = make([]any, 0, nret)
 	for i := uint64(0); i < nret; i++ {
 		v, err := dec.Decode()
 		if err != nil {
-			return nil, nil, numSeeded, fmt.Errorf("core: decoding return value %d: %w", i, err)
+			return updates, nil, numSeeded, fmt.Errorf("core: decoding return value %d: %w", i, err)
 		}
 		rets = append(rets, v)
 	}
@@ -298,6 +352,17 @@ func (c *Call) decodeReply(dec *wire.Decoder, set []int) (updates []pendingResto
 // first overwrite — so a malformed reply fails with the caller's graph
 // untouched rather than half-restored.
 func commitUpdates(kernels bool, updates []pendingRestore) error {
+	if len(updates) > 0 && updates[0].flat != nil {
+		// Engine V3: the validate phase already ran — DecodeSeededFlat
+		// proved every record committable before this function was reached —
+		// so the commit loop just re-parses each record into its original.
+		for _, u := range updates {
+			if err := u.flat.Commit(); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
 	if kernels {
 		// Compiled restore programs: kind dispatch resolved once per type,
 		// map commits via Clear + pooled iterator.

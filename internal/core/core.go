@@ -103,6 +103,9 @@ type Options struct {
 	// programs + pooling" from "cached reflection metadata" in the
 	// ablation; see wire.Options.DisableKernels.
 	DisableKernels bool
+	// DisableEngineV3 makes this endpoint's decoders reject engine-V3
+	// streams exactly like a pre-V3 peer; see wire.Options.DisableEngineV3.
+	DisableEngineV3 bool
 }
 
 func (o Options) wireOptions() wire.Options {
@@ -113,7 +116,15 @@ func (o Options) wireOptions() wire.Options {
 		MaxElems:         o.MaxElems,
 		DisablePlanCache: o.DisablePlanCache,
 		DisableKernels:   o.DisableKernels,
+		DisableEngineV3:  o.DisableEngineV3,
 	}
+}
+
+// Validate reports a typed error for option values that name no implemented
+// behaviour (currently: an unknown Engine, surfaced as
+// wire.ErrUnknownEngine). The zero value is valid.
+func (o Options) Validate() error {
+	return o.wireOptions().Validate()
 }
 
 // kernelsEnabled reports whether the compiled-kernel fast paths and the

@@ -143,7 +143,7 @@ func TestLocalCallBaselineFigure2(t *testing.T) {
 }
 
 func TestCopyRestoreReproducesFigure2(t *testing.T) {
-	for _, eng := range []wire.Engine{wire.EngineV1, wire.EngineV2} {
+	for _, eng := range []wire.Engine{wire.EngineV1, wire.EngineV2, wire.EngineV3} {
 		t.Run(eng.String(), func(t *testing.T) {
 			opts := testOptions(t)
 			opts.Engine = eng

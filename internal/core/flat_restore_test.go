@@ -1,0 +1,164 @@
+package core
+
+// Engine-V3 restore semantics: the flat format's match-and-restore by
+// slicing must be observationally identical to V2's staged restore — same
+// post-call graphs, same torn-restore guarantees — while the per-call arena
+// and the retained payload are each released exactly once on every path.
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"nrmi/internal/graph"
+	"nrmi/internal/wire"
+)
+
+func v3Options(t *testing.T) Options {
+	t.Helper()
+	opts := testOptions(t)
+	opts.Engine = wire.EngineV3
+	return opts
+}
+
+// TestV3RestoreDifferentialV2 runs the paper's mutation under V2 and V3
+// against two identical worlds and demands graph-equal outcomes — the
+// byte-level restore path is a representation change, not a semantic one.
+func TestV3RestoreDifferentialV2(t *testing.T) {
+	run := func(eng wire.Engine) *Tree {
+		opts := testOptions(t)
+		opts.Engine = eng
+		root, _, _, _, _ := paperTree()
+		runRemote(t, opts, func(tree *Tree) []any {
+			paperFoo(tree)
+			return nil
+		}, root)
+		return root
+	}
+	v2 := run(wire.EngineV2)
+	v3 := run(wire.EngineV3)
+	eq, err := graph.Equal(graph.AccessExported, v3, v2)
+	if err != nil || !eq {
+		t.Fatalf("V3 post-restore graph differs from V2: eq=%v err=%v", eq, err)
+	}
+}
+
+// TestV3ApplyResponseBytes drives the zero-copy payload path end to end:
+// the response is applied from a byte slice, records validated against the
+// retained linear map as buffer slices, new objects arena-built.
+func TestV3ApplyResponseBytes(t *testing.T) {
+	opts := v3Options(t)
+	call, resp, root := atomicWorld(t, opts)
+	a1, a2 := root.Left, root.Right
+	rl, rr := root.Right.Left, root.Right.Right
+
+	acq0, rel0 := wire.ArenaCounters()
+	r, err := call.ApplyResponseBytes(resp)
+	if err != nil {
+		t.Fatalf("apply: %v", err)
+	}
+	acq1, rel1 := wire.ArenaCounters()
+
+	assertFigure2(t, root, a1, a2, rl, rr)
+	if len(r.Returns) != 1 || r.Returns[0] != 42 {
+		t.Fatalf("returns = %v", r.Returns)
+	}
+	if acq1-acq0 != rel1-rel0 {
+		t.Fatalf("arena imbalance on success: +%d acquires vs +%d releases", acq1-acq0, rel1-rel0)
+	}
+	if acq1 == acq0 {
+		t.Fatal("V3 apply must have used the arena")
+	}
+}
+
+// TestV3AtomicUnderTruncation: every proper prefix of a valid V3 response
+// must fail, leave the caller graph bit-identical, and release the arena it
+// acquired.
+func TestV3AtomicUnderTruncation(t *testing.T) {
+	opts := v3Options(t)
+	_, full, _ := atomicWorld(t, opts)
+	for cut := 0; cut < len(full); cut++ {
+		call, resp, root := atomicWorld(t, opts)
+		if !bytes.Equal(resp, full) {
+			t.Fatal("response encoding is not deterministic; sweep invalid")
+		}
+		snap := snapshotGraph(t, root)
+		acq0, rel0 := wire.ArenaCounters()
+		_, err := call.ApplyResponseBytes(resp[:cut])
+		acq1, rel1 := wire.ArenaCounters()
+		if err == nil {
+			t.Fatalf("truncation at %d/%d bytes: ApplyResponseBytes succeeded", cut, len(full))
+		}
+		if !graphsEqual(t, root, snap) {
+			t.Fatalf("truncation at %d/%d bytes: failed apply mutated the graph (err was %v)",
+				cut, len(full), err)
+		}
+		if acq1-acq0 != rel1-rel0 {
+			t.Fatalf("truncation at %d/%d bytes: arena imbalance +%d/+%d (err was %v)",
+				cut, len(full), acq1-acq0, rel1-rel0, err)
+		}
+	}
+}
+
+// TestV3AtomicUnderBitFlips is the seeded corruption property on the flat
+// format: whenever apply reports an error, the graph equals its snapshot
+// and the arena balance is intact.
+func TestV3AtomicUnderBitFlips(t *testing.T) {
+	const seed = 20260807
+	const trials = 400
+	opts := v3Options(t)
+	rng := rand.New(rand.NewSource(seed))
+	for trial := 0; trial < trials; trial++ {
+		call, resp, root := atomicWorld(t, opts)
+		pos := rng.Intn(len(resp))
+		bit := byte(1) << rng.Intn(8)
+		corrupt := append([]byte(nil), resp...)
+		corrupt[pos] ^= bit
+		snap := snapshotGraph(t, root)
+		acq0, rel0 := wire.ArenaCounters()
+		_, err := call.ApplyResponseBytes(corrupt)
+		acq1, rel1 := wire.ArenaCounters()
+		if err != nil && !graphsEqual(t, root, snap) {
+			t.Fatalf("seed %d trial %d (byte %d bit %#02x): failed apply mutated the graph (err was %v)",
+				seed, trial, pos, bit, err)
+		}
+		if acq1-acq0 != rel1-rel0 {
+			t.Fatalf("seed %d trial %d: arena imbalance +%d/+%d (err was %v)",
+				seed, trial, acq1-acq0, rel1-rel0, err)
+		}
+	}
+}
+
+// TestV3ServerSideRelease: the server-side decoder of a V3 request must
+// balance its arena when the ServerCall is released, pooled or not.
+func TestV3ServerSideRelease(t *testing.T) {
+	opts := v3Options(t)
+	root, _, _, _, _ := paperTree()
+	var req bytes.Buffer
+	call := NewCall(&req, opts)
+	if err := call.EncodeRestorable(root); err != nil {
+		t.Fatal(err)
+	}
+	if err := call.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	payload := req.Bytes()
+
+	acq0, rel0 := wire.ArenaCounters()
+	srv := AcceptCallBytes(payload, opts)
+	if _, err := srv.DecodeRestorable(); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Prepare(); err != nil {
+		t.Fatal(err)
+	}
+	var respBuf bytes.Buffer
+	if _, err := srv.EncodeResponse(&respBuf, nil); err != nil {
+		t.Fatal(err)
+	}
+	srv.Release()
+	acq1, rel1 := wire.ArenaCounters()
+	if acq1-acq0 != rel1-rel0 {
+		t.Fatalf("server arena imbalance: +%d acquires vs +%d releases", acq1-acq0, rel1-rel0)
+	}
+}

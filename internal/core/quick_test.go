@@ -191,7 +191,7 @@ func checkEquivalence(t *testing.T, opts Options, seed int64, size, numOps int) 
 }
 
 func TestQuickRemoteEqualsLocal(t *testing.T) {
-	for _, eng := range []wire.Engine{wire.EngineV1, wire.EngineV2} {
+	for _, eng := range []wire.Engine{wire.EngineV1, wire.EngineV2, wire.EngineV3} {
 		t.Run(eng.String(), func(t *testing.T) {
 			opts := testOptions(t)
 			opts.Engine = eng

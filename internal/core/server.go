@@ -52,6 +52,21 @@ func AcceptCall(r io.Reader, opts Options) *ServerCall {
 	return s
 }
 
+// AcceptCallBytes starts decoding a request held in memory. Engine V3
+// decodes it by slicing, so data must stay valid until the response has
+// been encoded; transports that pool receive buffers must not recycle the
+// payload before then.
+func AcceptCallBytes(data []byte, opts Options) *ServerCall {
+	s := &ServerCall{opts: opts}
+	if opts.kernelsEnabled() {
+		s.dec = wire.AcquireDecoderBytes(data, opts.wireOptions())
+		s.pooled = true
+	} else {
+		s.dec = wire.NewDecoderBytes(data, opts.wireOptions())
+	}
+	return s
+}
+
 // Release returns the call's pooled codec state. Call it after the response
 // has been encoded; the decoded argument objects themselves stay valid (the
 // pool only drops its references to them), but the ServerCall must not be
@@ -62,6 +77,10 @@ func (s *ServerCall) Release() {
 	}
 	if s.pooled {
 		wire.ReleaseDecoder(s.dec)
+	} else {
+		// The unpooled decoder is dropped, but its arena's exactly-once
+		// release contract still holds.
+		s.dec.ReleaseArena()
 	}
 	s.dec = nil
 	s.oc = nil
@@ -252,6 +271,12 @@ func (s *ServerCall) EncodeResponse(w io.Writer, rets []any) (*ResponseStats, er
 	access := s.effectiveAccess()
 	sendOpts := s.opts
 	sendOpts.Access = access
+	if eng := s.dec.Engine(); eng != 0 {
+		// Reply in the engine the request arrived in: a client that fell
+		// back from V3 to V2 (or an old V2-only client) gets a response it
+		// can decode, regardless of this server's configured engine.
+		sendOpts.Engine = eng
+	}
 	kernels := sendOpts.kernelsEnabled()
 	var enc *wire.Encoder
 	if kernels {

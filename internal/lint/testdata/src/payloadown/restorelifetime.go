@@ -1,0 +1,84 @@
+package payloadown
+
+import (
+	"errors"
+	"io"
+)
+
+// The engine-V3 restore path lengthens the reply payload's lifetime: the
+// flat records are validated and committed as slices of the payload
+// itself, so the buffer may only go back to the pool after the apply
+// (restore commit) returns — not when decoding finishes. These fixtures
+// pin the ownership shapes that lifetime extension creates.
+
+// applyRestore mirrors core's ApplyResponseBytes: it borrows the payload
+// for the duration of the call (validate + commit read from it) and does
+// not take ownership.
+func applyRestore(p []byte) error {
+	if len(p) == 0 {
+		return errors.New("empty reply")
+	}
+	return nil
+}
+
+// ApplyThenRelease is the correct V3 client shape: the payload outlives
+// the whole restore commit and is released exactly once afterwards, on
+// the success and the error path alike.
+func ApplyThenRelease(r io.Reader) error {
+	f, err := readFrame(r)
+	if err != nil {
+		return err
+	}
+	applyErr := applyRestore(f.payload)
+	ReleasePayload(f.payload)
+	return applyErr
+}
+
+// ApplyErrorLeak forgets the payload when the restore fails — the exact
+// leak the lengthened lifetime invites, since the release site moved away
+// from the decode site.
+func ApplyErrorLeak(r io.Reader) error {
+	f, err := readFrame(r)
+	if err != nil {
+		return err
+	}
+	if err := applyRestore(f.payload); err != nil {
+		return err // want `f \(from readFrame at line \d+\) may not be released on a path reaching this return`
+	}
+	ReleasePayload(f.payload)
+	return nil
+}
+
+// ApplyDoubleRelease releases once on the failure branch and then again
+// unconditionally: the success path is fine, but the failure path now
+// puts the same buffer twice.
+func ApplyDoubleRelease(r io.Reader) error {
+	f, err := readFrame(r)
+	if err != nil {
+		return err
+	}
+	applyErr := applyRestore(f.payload)
+	if applyErr != nil {
+		ReleasePayload(f.payload)
+	}
+	ReleasePayload(f.payload) // want `may already have been released on a path`
+	return applyErr
+}
+
+// RetryLoopOverwrite re-reads a reply while the previous iteration's
+// payload is still retained for its pending restore: the overwrite drops
+// the only reference to a buffer the pool still considers checked out.
+func RetryLoopOverwrite(r io.Reader, rounds int) error {
+	f, err := readFrame(r)
+	if err != nil {
+		return err
+	}
+	for i := 0; i < rounds; i++ {
+		f, err = readFrame(r) // want `f is overwritten while it may still own a pooled payload`
+		if err != nil {
+			return err
+		}
+	}
+	ReleasePayload(f.payload)
+	return nil
+}

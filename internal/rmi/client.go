@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"math/rand"
 	"net"
+	"strings"
 	"sync"
 	"time"
 
@@ -15,6 +16,7 @@ import (
 	"nrmi/internal/obs"
 	"nrmi/internal/registry"
 	"nrmi/internal/transport"
+	"nrmi/internal/wire"
 )
 
 // Dialer opens a connection to a named endpoint. netsim.Network.Dial and a
@@ -39,6 +41,14 @@ type Client struct {
 	// arguments (callbacks) and for resolving references to local objects.
 	local *Server
 
+	// engineMu guards v2Peers: addresses whose servers rejected an
+	// engine-V3 request header ("unknown engine"). Later calls to such an
+	// address encode V2 immediately instead of paying a rejected round
+	// trip per call. The cache is per-Client, like the connection pool: a
+	// peer upgrade is picked up by the next fresh client.
+	engineMu sync.Mutex
+	v2Peers  map[string]bool
+
 	// metrics is the cumulative counter block behind Metrics().
 	metrics clientMetrics
 }
@@ -57,6 +67,7 @@ func NewClient(dialer Dialer, opts Options) (*Client, error) {
 		dialer:   dialer,
 		conns:    make(map[string]*transport.Conn),
 		retryRng: rand.New(rand.NewSource(seed)),
+		v2Peers:  make(map[string]bool),
 	}, nil
 }
 
@@ -204,11 +215,57 @@ func (st *Stub) callStats(ctx context.Context, method string, args ...any) (*cor
 	return resp, err
 }
 
-// doCall is the invocation body. Arguments are encoded exactly once; the
-// retry layer (invoke) re-sends the identical request bytes, so a retried
-// call can never ship different state than the original. oc may be nil
-// (observability disabled).
+// doCall is the invocation body, plus the engine-negotiation shell: a call
+// encoded with engine V3 that a pre-V3 peer rejects at the stream header
+// ("unknown engine") is re-encoded with V2 and re-sent exactly once — safe
+// because the rejection provably precedes argument decoding, let alone
+// execution — and the address is remembered so later calls start at V2.
+// This mirrors the flag-gated deadline-frame negotiation in the transport.
 func (st *Stub) doCall(ctx context.Context, oc *obs.Call, method string, args ...any) (*core.Response, error) {
+	c := st.c
+	coreOpts := c.opts.Core
+	if coreOpts.Engine == wire.EngineV3 && c.peerLacksV3(st.addr) {
+		coreOpts.Engine = wire.EngineV2
+	}
+	resp, err := st.doCallEngine(ctx, oc, method, coreOpts, args)
+	if err != nil && coreOpts.Engine == wire.EngineV3 && isUnknownEngineReject(err) {
+		c.noteV2Fallback(st.addr)
+		coreOpts.Engine = wire.EngineV2
+		resp, err = st.doCallEngine(ctx, oc, method, coreOpts, args)
+	}
+	return resp, err
+}
+
+// peerLacksV3 reports whether addr previously rejected an engine-V3 stream.
+func (c *Client) peerLacksV3(addr string) bool {
+	c.engineMu.Lock()
+	defer c.engineMu.Unlock()
+	return c.v2Peers[addr]
+}
+
+// noteV2Fallback records that addr cannot decode engine V3.
+func (c *Client) noteV2Fallback(addr string) {
+	c.engineMu.Lock()
+	c.v2Peers[addr] = true
+	c.engineMu.Unlock()
+	c.metrics.engineFallbacks.Add(1)
+}
+
+// isUnknownEngineReject reports whether err is a server-side rejection of
+// the request's wire engine: a remote application error whose cause is the
+// stream-header "unknown engine" failure. Only that exact failure is a
+// negotiation signal; it happens before the server decodes any argument,
+// so re-sending under an older engine cannot double-execute anything.
+func isUnknownEngineReject(err error) bool {
+	var remote *transport.RemoteError
+	return errors.As(err, &remote) && strings.Contains(remote.Msg, "unknown engine")
+}
+
+// doCallEngine performs one invocation under the given core options.
+// Arguments are encoded exactly once; the retry layer (invoke) re-sends the
+// identical request bytes, so a retried call can never ship different state
+// than the original. oc may be nil (observability disabled).
+func (st *Stub) doCallEngine(ctx context.Context, oc *obs.Call, method string, coreOpts core.Options, args []any) (*core.Response, error) {
 	c := st.c
 	marshalStart := time.Now()
 	req := reqBufPool.Get().(*bytes.Buffer)
@@ -216,10 +273,10 @@ func (st *Stub) doCall(ctx context.Context, oc *obs.Call, method string, args ..
 		req.Reset()
 		reqBufPool.Put(req)
 	}()
-	call := core.NewCall(req, c.opts.Core)
+	call := core.NewCall(req, coreOpts)
 	defer call.Release()
 	call.SetObs(oc)
-	oc.SetKernels(c.opts.Core.KernelsEnabled())
+	oc.SetKernels(coreOpts.KernelsEnabled())
 
 	sp := oc.Start(obs.PhaseEncode)
 	err := st.encodeRequest(call, method, args)
@@ -239,14 +296,18 @@ func (st *Stub) doCall(ctx context.Context, oc *obs.Call, method string, args ..
 	oc.SetIO(int64(len(payload)), int64(req.Len()))
 
 	// Response bytes are consumed from here on: whatever happens, this
-	// call is never re-sent (exactly-once restore). ApplyResponse itself
-	// decodes fully before mutating, so a failure below still leaves the
+	// call is never re-sent (exactly-once restore). ApplyResponseBytes
+	// validates fully before mutating, so a failure below still leaves the
 	// caller's graph untouched — but it is not safe to re-run, and the
 	// error says so.
 	unmarshalStart := time.Now()
-	resp, err := call.ApplyResponse(bytes.NewReader(payload))
-	// ApplyResponse copies everything it keeps out of the reply bytes, so
-	// the pooled payload can go back regardless of the outcome.
+	resp, err := call.ApplyResponseBytes(payload)
+	// The pooled payload's ownership extends through the restore commit:
+	// under engine V3 the content records are validated and committed
+	// straight out of these bytes (zero-copy), so the release must not
+	// happen until ApplyResponseBytes has returned. By then everything
+	// retained has been written into the caller's graph (or, on error,
+	// dropped), so the payload goes back regardless of the outcome.
 	c.releasePayload(payload)
 	if err != nil {
 		return nil, &ResponseConsumedError{Method: method, Err: err}

@@ -26,6 +26,11 @@ type clientMetrics struct {
 	// root-cause label from evictionCause.
 	evictions atomic.Int64
 
+	// engineFallbacks counts engine-V3 requests re-sent as V2 after a
+	// peer's "unknown engine" rejection (one per downgraded address in the
+	// steady state).
+	engineFallbacks atomic.Int64
+
 	causeMu        sync.Mutex
 	evictionCauses map[string]int64
 }
@@ -83,6 +88,9 @@ type ClientMetrics struct {
 	// restarts from partitions without scraping logs. Nil until the
 	// first eviction; the map is a copy and safe to retain.
 	EvictionCauses map[string]int64
+	// EngineFallbacks counts engine-V3 requests that were re-encoded and
+	// re-sent as V2 after the peer rejected the V3 stream header.
+	EngineFallbacks int64
 }
 
 // Metrics returns a snapshot of the client's counters. Counters are read
@@ -100,6 +108,7 @@ func (c *Client) Metrics() ClientMetrics {
 		BytesReceived:    c.metrics.bytesReceived.Load(),
 		PayloadsReleased: c.metrics.payloadsReleased.Load(),
 		Evictions:        c.metrics.evictions.Load(),
+		EngineFallbacks:  c.metrics.engineFallbacks.Load(),
 	}
 	c.metrics.causeMu.Lock()
 	if len(c.metrics.evictionCauses) > 0 {

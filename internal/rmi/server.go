@@ -612,7 +612,9 @@ var errType = reflect.TypeOf((*error)(nil)).Elem()
 // client has already given up. The body runs under a per-call
 // observability collector keyed by (object, method).
 func (s *Server) handleCall(ctx context.Context, payload []byte) (out []byte, err error) {
-	sc := core.AcceptCall(bytes.NewReader(payload), s.opts.Core)
+	// The payload stays valid for the whole handler (the transport releases
+	// it after handleCall returns), so the decoder may slice it in place.
+	sc := core.AcceptCallBytes(payload, s.opts.Core)
 	// Decoded argument objects outlive the release (the pool only drops its
 	// references to them), so this is safe on every exit path.
 	defer sc.Release()

@@ -29,6 +29,20 @@ type Decoder struct {
 	// kernels routes struct decoding through the compiled field programs
 	// (kernel.go); decided at header time, when the engine is known.
 	kernels bool
+
+	// arena batch-allocates the objects materialized by engine-V3 frames
+	// (arena.go). Lazily created on the first V3 frame; released when the
+	// decoder is recycled, or explicitly via ReleaseArena on abandoned
+	// decoders.
+	arena *Arena
+
+	// frameFree and fcFree recycle the frame and FlatContent shells of the
+	// V3 restore path: a response restores one frame per old object, so
+	// without recycling the shells alone cost two allocations per restored
+	// object. Entries are cleared before being parked, so the freelists
+	// never pin payload bytes or user objects.
+	frameFree []*flatFrame
+	fcFree    []*FlatContent
 }
 
 // NewDecoder returns a Decoder reading from r. The engine and access mode
@@ -37,6 +51,17 @@ type Decoder struct {
 func NewDecoder(r io.Reader, opts Options) *Decoder {
 	o := opts.withDefaults()
 	return &Decoder{r: newReader(r, o.MaxElems), opts: o}
+}
+
+// NewDecoderBytes returns a Decoder reading from an in-memory message.
+// Engine V3 decodes such messages by slicing: frame regions alias data
+// instead of being copied, so data must stay valid (and unmodified) until
+// decoding — including any pending FlatContent commits — has finished.
+func NewDecoderBytes(data []byte, opts Options) *Decoder {
+	o := opts.withDefaults()
+	d := &Decoder{r: newReader(nil, o.MaxElems), opts: o}
+	d.r.resetBytes(data, o.MaxElems)
+	return d
 }
 
 // Objects returns the decoder's linear map: every object materialized or
@@ -88,7 +113,16 @@ func (d *Decoder) header() error {
 	if err != nil {
 		return err
 	}
-	if Engine(eng) != EngineV1 && Engine(eng) != EngineV2 {
+	switch Engine(eng) {
+	case EngineV1, EngineV2:
+	case EngineV3:
+		if d.opts.DisableEngineV3 {
+			// Reject with the exact error a pre-V3 peer produces, so the
+			// client-side engine fallback can be exercised against new
+			// binaries (see Options.DisableEngineV3).
+			return fmt.Errorf("%w: unknown engine %d", ErrBadStream, eng)
+		}
+	default:
 		return fmt.Errorf("%w: unknown engine %d", ErrBadStream, eng)
 	}
 	d.engine = Engine(eng)
@@ -119,6 +153,9 @@ func (d *Decoder) Decode() (any, error) {
 func (d *Decoder) DecodeValue() (reflect.Value, error) {
 	if err := d.header(); err != nil {
 		return reflect.Value{}, err
+	}
+	if d.engine == EngineV3 {
+		return d.flatDecodeRoot()
 	}
 	return d.decodeValue(0)
 }
@@ -153,6 +190,9 @@ func (d *Decoder) DecodeSeededContent(id int) (reflect.Value, error) {
 		return reflect.Value{}, fmt.Errorf("wire: DecodeSeededContent(%d): not a seeded object", id)
 	}
 	orig := d.table[id]
+	if d.engine == EngineV3 {
+		return d.flatSeededStaged(id)
+	}
 	kind, err := d.r.readByte()
 	if err != nil {
 		return reflect.Value{}, err

@@ -27,6 +27,9 @@ type Encoder struct {
 	// kernels routes value encoding through the compiled per-type programs
 	// (kernel.go); derived from opts, cached here for the hot path.
 	kernels bool
+	// flat is the engine-V3 frame-assembly scratch state (flat.go), created
+	// lazily and retained across frames and pooled reuse.
+	flat *flatEnc
 }
 
 // NewEncoder returns an Encoder writing to w.
@@ -63,10 +66,15 @@ func (e *Encoder) BytesWritten() int64 { return e.w.bytesWritten() }
 // Flush pushes buffered output to the underlying writer.
 func (e *Encoder) Flush() error { return e.w.flush() }
 
-// header emits the stream header exactly once.
+// header emits the stream header exactly once. Misconfigured engines fail
+// here with the typed error rather than producing a stream no decoder can
+// name.
 func (e *Encoder) header() error {
 	if e.headerDone {
 		return nil
+	}
+	if !e.opts.Engine.valid() {
+		return fmt.Errorf("%w: Engine(%d)", ErrUnknownEngine, byte(e.opts.Engine))
 	}
 	e.headerDone = true
 	if err := e.w.writeByte(headerMagic); err != nil {
@@ -80,6 +88,9 @@ func (e *Encoder) header() error {
 
 // Encode serializes one value (and everything reachable from it).
 func (e *Encoder) Encode(v any) error {
+	if e.opts.Engine == EngineV3 {
+		return e.flatEncodeRoot(reflect.ValueOf(v))
+	}
 	if err := e.header(); err != nil {
 		return err
 	}
@@ -91,6 +102,9 @@ func (e *Encoder) Encode(v any) error {
 
 // EncodeValue is Encode for callers holding reflect.Values.
 func (e *Encoder) EncodeValue(v reflect.Value) error {
+	if e.opts.Engine == EngineV3 {
+		return e.flatEncodeRoot(v)
+	}
 	if err := e.header(); err != nil {
 		return err
 	}
@@ -141,6 +155,9 @@ func (e *Encoder) SeedObject(ref reflect.Value) (int, error) {
 // ships back the state of every pre-call object, including ones that became
 // unreachable (paper, Section 3, step 3).
 func (e *Encoder) EncodeSeededContent(id int) error {
+	if e.opts.Engine == EngineV3 {
+		return e.flatEncodeSeededContent(id)
+	}
 	if err := e.header(); err != nil {
 		return err
 	}

@@ -36,7 +36,7 @@ func FuzzDecode(f *testing.F) {
 		f.Add(buf.Bytes())
 	}
 	shared := &wnode{Data: 7}
-	for _, eng := range []Engine{EngineV1, EngineV2} {
+	for _, eng := range []Engine{EngineV1, EngineV2, EngineV3} {
 		seed(&wnode{Data: 1, Left: shared, Right: shared}, eng)
 		seed([]string{"a", "a", "b"}, eng)
 		seed(map[string]int{"x": 1}, eng)
@@ -45,6 +45,11 @@ func FuzzDecode(f *testing.F) {
 	f.Add([]byte{})
 	f.Add([]byte{headerMagic})
 	f.Add([]byte{headerMagic, byte(EngineV2), 0, tagRef, 0xFF})
+	// Hostile flat-frame skeletons: bogus engine, lying body length, a frame
+	// header promising more nodes than the body delivers.
+	f.Add([]byte{headerMagic, byte(EngineV3), 0, 0x04, 1, 0, 0, 0})
+	f.Add([]byte{headerMagic, byte(EngineV3), 0, 0xFF, 0xFF, 0xFF, 0xFF, 0x0F})
+	f.Add(v3Stream(putU32le(putU32le(putU32le(nil, 7), 0), 0)))
 	// Damaged variants of every valid stream, mirroring what the netsim
 	// corrupt and sever faults deliver on the wire: a few flipped bits at
 	// seeded positions, and truncations at every framing-hostile cut.
@@ -64,9 +69,19 @@ func FuzzDecode(f *testing.F) {
 		dec := NewDecoder(bytes.NewReader(data), Options{Registry: reg, MaxElems: 1 << 12})
 		for i := 0; i < 4; i++ {
 			if _, err := dec.Decode(); err != nil {
-				return // errors are the expected outcome for junk
+				break // errors are the expected outcome for junk
 			}
 		}
+		dec.ReleaseArena()
+		// The zero-copy bytes-mode decoder slices the payload directly; it
+		// must be exactly as junk-proof as the staging stream reader.
+		decB := NewDecoderBytes(data, Options{Registry: reg, MaxElems: 1 << 12})
+		for i := 0; i < 4; i++ {
+			if _, err := decB.Decode(); err != nil {
+				break
+			}
+		}
+		decB.ReleaseArena()
 	})
 }
 
@@ -124,6 +139,27 @@ func FuzzRoundTrip(f *testing.F) {
 		eq, err := graph.Equal(graph.AccessExported, tree, out)
 		if err != nil || !eq {
 			t.Fatalf("round trip broke graph equality: eq=%v err=%v", eq, err)
+		}
+		// Differential leg: the same shape through the V3 flat format must
+		// produce an equal graph.
+		opts3 := Options{Engine: EngineV3, Registry: reg}
+		var buf3 bytes.Buffer
+		enc3 := NewEncoder(&buf3, opts3)
+		if err := enc3.Encode(tree); err != nil {
+			t.Fatal(err)
+		}
+		if err := enc3.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		dec3 := NewDecoderBytes(buf3.Bytes(), opts3)
+		out3, err := dec3.Decode()
+		if err != nil {
+			t.Fatalf("V3 decode of own encoding failed: %v", err)
+		}
+		dec3.ReleaseArena()
+		eq, err = graph.Equal(graph.AccessExported, out3, out)
+		if err != nil || !eq {
+			t.Fatalf("V3 graph differs from %s graph: eq=%v err=%v", eng, eq, err)
 		}
 	})
 }

@@ -12,11 +12,12 @@ import (
 
 // writer is the byte-emission layer. Engine V1 uses an unbuffered,
 // fixed-width implementation (every primitive is a separate small Write to
-// the underlying stream, like the layered JDK 1.3 path); engine V2 buffers
-// and uses varints.
+// the underlying stream, like the layered JDK 1.3 path); engines V2 and V3
+// buffer and use varints for the raw protocol primitives (V3's value
+// payloads live inside flat frames and never reach writeUint).
 type writer struct {
 	raw     io.Writer
-	buf     *bufio.Writer // non-nil for V2
+	buf     *bufio.Writer // non-nil for V2/V3
 	engine  Engine
 	scratch [binary.MaxVarintLen64]byte
 	count   int64
@@ -24,19 +25,19 @@ type writer struct {
 
 func newWriter(w io.Writer, engine Engine) *writer {
 	wr := &writer{raw: w, engine: engine}
-	if engine == EngineV2 {
+	if engine != EngineV1 {
 		wr.buf = bufio.NewWriterSize(w, 4096)
 	}
 	return wr
 }
 
-// reset re-arms a pooled writer onto a new destination, reusing the V2
-// bufio buffer.
+// reset re-arms a pooled writer onto a new destination, reusing the
+// buffered engines' bufio buffer.
 func (w *writer) reset(dst io.Writer, engine Engine) {
 	w.raw = dst
 	w.engine = engine
 	w.count = 0
-	if engine == EngineV2 {
+	if engine != EngineV1 {
 		if w.buf == nil {
 			w.buf = bufio.NewWriterSize(dst, 4096)
 		} else {
@@ -75,10 +76,10 @@ func (w *writer) writeByte(b byte) error {
 	return w.write([]byte{b})
 }
 
-// writeUint emits an unsigned integer: uvarint under V2, fixed 8 bytes
+// writeUint emits an unsigned integer: uvarint under V2/V3, fixed 8 bytes
 // big-endian under V1.
 func (w *writer) writeUint(v uint64) error {
-	if w.engine == EngineV2 {
+	if w.engine != EngineV1 {
 		n := binary.PutUvarint(w.scratch[:], v)
 		return w.write(w.scratch[:n])
 	}
@@ -89,7 +90,7 @@ func (w *writer) writeUint(v uint64) error {
 // writeInt emits a signed integer: zigzag varint under V2, fixed 8 bytes
 // under V1.
 func (w *writer) writeInt(v int64) error {
-	if w.engine == EngineV2 {
+	if w.engine != EngineV1 {
 		n := binary.PutVarint(w.scratch[:], v)
 		return w.write(w.scratch[:n])
 	}
@@ -129,15 +130,21 @@ func (w *writer) flush() error {
 }
 
 // reader is the byte-consumption layer, adapting to the engine announced in
-// the stream header.
+// the stream header. It has two source modes: stream mode (an io.Reader,
+// buffered for V2/V3) and bytes mode (the whole message held in data, as
+// when the transport hands over a pooled payload). Bytes mode lets slice
+// return windows of the payload without copying — the zero-copy input for
+// engine V3's flat frames.
 type reader struct {
 	raw      io.Reader
 	br       *bufio.Reader
+	data     []byte // bytes mode: the full message
+	dpos     int    // bytes mode: read position
 	engine   Engine
 	scratch  [8]byte
 	count    int64
 	maxElems int
-	// spare parks the V2 bufio.Reader between pooled uses: reset cannot
+	// spare parks the bufio.Reader between pooled uses: reset cannot
 	// leave br set (the engine of the next stream is unknown until its
 	// header arrives), but the 4K buffer is worth keeping.
 	spare *bufio.Reader
@@ -150,7 +157,7 @@ func newReader(r io.Reader, maxElems int) *reader {
 // setEngine finalizes the reader once the header announced the engine.
 func (r *reader) setEngine(e Engine) {
 	r.engine = e
-	if e == EngineV2 {
+	if e != EngineV1 && r.data == nil {
 		if r.spare != nil {
 			r.spare.Reset(r.raw)
 			r.br, r.spare = r.spare, nil
@@ -167,14 +174,31 @@ func (r *reader) reset(src io.Reader, maxElems int) {
 		r.spare, r.br = r.br, nil
 	}
 	r.raw = src
+	r.data = nil
+	r.dpos = 0
 	r.engine = 0
 	r.count = 0
 	r.maxElems = maxElems
 }
 
+// resetBytes re-arms a pooled reader onto an in-memory message.
+func (r *reader) resetBytes(data []byte, maxElems int) {
+	r.reset(nil, maxElems)
+	r.data = data
+}
+
 func (r *reader) bytesRead() int64 { return r.count }
 
 func (r *reader) readFull(p []byte) error {
+	if r.data != nil {
+		if len(r.data)-r.dpos < len(p) {
+			return io.ErrUnexpectedEOF
+		}
+		copy(p, r.data[r.dpos:])
+		r.dpos += len(p)
+		r.count += int64(len(p))
+		return nil
+	}
 	var err error
 	if r.br != nil {
 		_, err = io.ReadFull(r.br, p)
@@ -188,6 +212,15 @@ func (r *reader) readFull(p []byte) error {
 }
 
 func (r *reader) readByte() (byte, error) {
+	if r.data != nil {
+		if r.dpos >= len(r.data) {
+			return 0, io.ErrUnexpectedEOF
+		}
+		b := r.data[r.dpos]
+		r.dpos++
+		r.count++
+		return b, nil
+	}
 	if r.br != nil {
 		b, err := r.br.ReadByte()
 		if err == nil {
@@ -199,6 +232,32 @@ func (r *reader) readByte() (byte, error) {
 	return r.scratch[0], err
 }
 
+// slice returns the next n bytes of the message. In bytes mode the returned
+// slice is a window of the underlying payload (zero-copy; owned reports
+// false, and the bytes stay valid for as long as the payload does). In
+// stream mode the bytes are staged through a pooled buffer (owned reports
+// true, and the caller must bufpool.Put it when done).
+func (r *reader) slice(n int) (p []byte, owned bool, err error) {
+	if n == 0 {
+		return nil, false, nil
+	}
+	if r.data != nil {
+		if len(r.data)-r.dpos < n {
+			return nil, false, io.ErrUnexpectedEOF
+		}
+		p = r.data[r.dpos : r.dpos+n : r.dpos+n]
+		r.dpos += n
+		r.count += int64(n)
+		return p, false, nil
+	}
+	p = bufpool.Get(n)
+	if err := r.readFull(p); err != nil {
+		bufpool.Put(p)
+		return nil, false, err
+	}
+	return p, true, nil
+}
+
 // ReadByte implements io.ByteReader so the reader can be handed to
 // binary.ReadUvarint directly. The previous adapter (a method-value
 // closure) allocated once per varint read — the single hottest
@@ -206,7 +265,7 @@ func (r *reader) readByte() (byte, error) {
 func (r *reader) ReadByte() (byte, error) { return r.readByte() }
 
 func (r *reader) readUint() (uint64, error) {
-	if r.engine == EngineV2 {
+	if r.engine != EngineV1 {
 		v, err := binary.ReadUvarint(r)
 		return v, err
 	}
@@ -217,7 +276,7 @@ func (r *reader) readUint() (uint64, error) {
 }
 
 func (r *reader) readInt() (int64, error) {
-	if r.engine == EngineV2 {
+	if r.engine != EngineV1 {
 		return binary.ReadVarint(r)
 	}
 	if err := r.readFull(r.scratch[:8]); err != nil {

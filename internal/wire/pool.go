@@ -86,12 +86,35 @@ func AcquireDecoder(r io.Reader, opts Options) *Decoder {
 	return d
 }
 
+// AcquireDecoderBytes returns a pooled Decoder reading an in-memory
+// message, equivalent to NewDecoderBytes but allocation-free in the steady
+// state. The zero-copy caveat of NewDecoderBytes applies: data must outlive
+// all decoding, including pending FlatContent commits.
+func AcquireDecoderBytes(data []byte, opts Options) *Decoder {
+	d, _ := decoderPool.Get().(*Decoder)
+	if d == nil {
+		return NewDecoderBytes(data, opts)
+	}
+	o := opts.withDefaults()
+	d.r.resetBytes(data, o.MaxElems)
+	d.opts = o
+	d.headerDone = false
+	d.engine = 0
+	d.access = 0
+	d.kernels = false
+	d.numSeeded = 0
+	return d
+}
+
 // ReleaseDecoder resets d and returns it to the pool. Passing nil is a
 // no-op.
 func ReleaseDecoder(d *Decoder) {
 	if d == nil {
 		return
 	}
+	// Releasing the arena only drops the slab references: objects the caller
+	// extracted stay alive through ordinary reachability.
+	d.ReleaseArena()
 	// The table entries are the decoded objects themselves (or seeded user
 	// objects): drop the references, keep the slice capacity.
 	clear(d.table)

@@ -43,6 +43,12 @@ const (
 	EngineV1 Engine = 1
 	// EngineV2 is the optimized engine (the JDK 1.4 stand-in).
 	EngineV2 Engine = 2
+	// EngineV3 is the flat-buffer engine: every encoded graph travels as a
+	// length-prefixed frame holding an offset table and fixed-width node
+	// records, readable by slicing (flat.go / flatdec.go). Decoding
+	// constructs new objects out of a per-decoder arena, and the restore
+	// path consumes content records straight out of the receive buffer.
+	EngineV3 Engine = 3
 )
 
 // String returns the engine name.
@@ -52,9 +58,17 @@ func (e Engine) String() string {
 		return "v1"
 	case EngineV2:
 		return "v2"
+	case EngineV3:
+		return "v3"
 	default:
 		return fmt.Sprintf("Engine(%d)", byte(e))
 	}
+}
+
+// valid reports whether e names an implemented engine (zero is accepted as
+// "default" by Options.withDefaults, not here).
+func (e Engine) valid() bool {
+	return e == EngineV1 || e == EngineV2 || e == EngineV3
 }
 
 // Errors reported by the codec.
@@ -69,6 +83,12 @@ var (
 	// ErrLimit is reported when a length field exceeds the configured
 	// sanity limits, protecting against corrupted or hostile streams.
 	ErrLimit = errors.New("wire: stream exceeds size limits")
+
+	// ErrUnknownEngine is reported when Options.Engine names no implemented
+	// engine. It surfaces from Options.Validate and from the first encode on
+	// a misconfigured Encoder, instead of silently falling through to
+	// whatever behaviour an unknown engine value happened to produce.
+	ErrUnknownEngine = errors.New("wire: unknown engine")
 )
 
 // Options configures an Encoder or Decoder.
@@ -105,6 +125,22 @@ type Options struct {
 	// per-type programs" in benchmarks. Kernels are only ever active on
 	// engine V2 with the plan cache enabled.
 	DisableKernels bool
+
+	// DisableEngineV3 makes a Decoder reject engine-V3 streams with the
+	// same "unknown engine" stream error a pre-V3 peer produces. It exists
+	// for negotiation tests and staged rollouts: a fleet can run new
+	// binaries that refuse V3 until every client's fallback path has been
+	// exercised, exactly like the flag-gated deadline frame extension.
+	DisableEngineV3 bool
+}
+
+// Validate reports a typed error for option values that name no implemented
+// behaviour. The zero value is valid (it means "all defaults").
+func (o Options) Validate() error {
+	if o.Engine != 0 && !o.Engine.valid() {
+		return fmt.Errorf("%w: Engine(%d)", ErrUnknownEngine, byte(o.Engine))
+	}
+	return nil
 }
 
 // kernelsEnabled reports whether o selects the compiled-kernel fast paths.

@@ -79,7 +79,7 @@ func roundTrip(t *testing.T, opts Options, v any) any {
 func bothEngines(t *testing.T, f func(t *testing.T, opts Options)) {
 	t.Helper()
 	reg := testRegistry(t)
-	for _, eng := range []Engine{EngineV1, EngineV2} {
+	for _, eng := range []Engine{EngineV1, EngineV2, EngineV3} {
 		opts := Options{Engine: eng, Registry: reg}
 		t.Run(eng.String(), func(t *testing.T) { f(t, opts) })
 	}
@@ -632,7 +632,7 @@ func buildRandomTree(seed int64, size int) *wnode {
 
 func TestQuickRoundTripGraphEqual(t *testing.T) {
 	reg := testRegistry(t)
-	for _, eng := range []Engine{EngineV1, EngineV2} {
+	for _, eng := range []Engine{EngineV1, EngineV2, EngineV3} {
 		opts := Options{Engine: eng, Registry: reg}
 		f := func(seed int64, sz uint8) bool {
 			size := int(sz%96) + 1
