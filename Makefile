@@ -37,6 +37,7 @@ ci: build
 	fi
 	$(GO) test -race ./...
 	$(GO) test -race -count=1 -run 'TestV3|TestV2Client|TestQuickRemoteEqualsLocal' ./internal/wire/ ./internal/core/ ./internal/rmi/
+	$(GO) test -race -count=1 -run 'TestAsync|TestOneWay|TestBatch' ./internal/rmi/
 	$(GO) run ./cmd/nrmi-vet -format sarif ./... > nrmi-vet.sarif
 	@echo "wrote nrmi-vet.sarif"
 
@@ -66,9 +67,13 @@ bench:
 # The second leg is the engine ablation (flat V3 frames + arena restore vs
 # V2-kernels): fails unless V3 allocates strictly less per op on every
 # workload and cuts allocs/op by at least 30%; refreshes BENCH_6.json.
+# The third leg is the async pipelining gate (K CallAsync-pipelined calls
+# vs K sequential on a 2ms one-way link): fails unless pipelining is at
+# least 1.5x faster; refreshes BENCH_7.json.
 bench-smoke:
 	$(GO) run ./cmd/nrmi-bench -smoke BENCH_4.json
 	$(GO) run ./cmd/nrmi-bench -smoke-v3 BENCH_6.json
+	$(GO) run ./cmd/nrmi-bench -smoke-async BENCH_7.json
 
 # Observability smoke gate: run a scenario-III workload with a phase
 # observer on both endpoints, scrape and schema-check the debug endpoints,

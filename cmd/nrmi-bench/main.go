@@ -39,6 +39,8 @@ func main() {
 		smokeMin    = flag.Float64("smoke-min-reduction", 30, "minimum allocs/op reduction (percent, kernels on vs. off) the smoke run must show; 0 disables the gate")
 		smokeV3     = flag.String("smoke-v3", "", "run the engine-V3 ablation smoke benchmark (v3 vs v2-kernels), write the JSON snapshot to this path, and exit")
 		smokeV3Min  = flag.Float64("smoke-v3-min-reduction", 30, "minimum allocs/op reduction (percent, v3 vs v2-kernels) the V3 smoke run must show; 0 disables the gate")
+		smokeAsync  = flag.String("smoke-async", "", "run the async pipelining smoke benchmark (K pipelined vs K sequential calls on a delayed link), write the JSON snapshot to this path, and exit")
+		smokeAsyncX = flag.Float64("smoke-async-min-speedup", 1.5, "minimum sequential/pipelined wall-time ratio the async smoke must show; 0 disables the gate")
 		phases      = flag.Bool("phases", false, "run the per-phase breakdown (scenario III, kernels on/off) and exit")
 		obsSmoke    = flag.Bool("obs-smoke", false, "run the observability smoke gate (debug endpoints + nop-overhead check) and exit")
 		obsMax      = flag.Float64("obs-max-overhead", 2, "maximum disabled-path instrumentation overhead (percent of a scenario-III call) the obs smoke tolerates")
@@ -54,6 +56,13 @@ func main() {
 
 	if *smokeV3 != "" {
 		if err := runSmokeV3(*smokeV3, *smokeV3Min); err != nil {
+			log.Fatalf("nrmi-bench: %v", err)
+		}
+		return
+	}
+
+	if *smokeAsync != "" {
+		if err := runSmokeAsync(*smokeAsync, *smokeAsyncX); err != nil {
 			log.Fatalf("nrmi-bench: %v", err)
 		}
 		return
@@ -218,6 +227,34 @@ func runSmokeV3(path string, minReduction float64) error {
 				return fmt.Errorf("perf regression: %s v3 allocs/op reduction %.1f%% below the %.0f%% gate", name, pct, minReduction)
 			}
 		}
+	}
+	return nil
+}
+
+// runSmokeAsync runs the async pipelining smoke benchmark, writes the
+// BENCH_7 snapshot to path, and enforces the pipelining gate: K calls
+// issued through CallAsync and joined with All must finish at least
+// minSpeedup times faster than the same K calls made sequentially over
+// the same delayed link.
+func runSmokeAsync(path string, minSpeedup float64) error {
+	snap, err := bench.RunBenchSmokeAsync()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "async smoke: %d calls, %dus one-way: sequential %s, pipelined %s (%.1fx)\n",
+		snap.Calls, snap.OneWayLatencyUS,
+		time.Duration(snap.NsSequential).Round(time.Microsecond),
+		time.Duration(snap.NsPipelined).Round(time.Microsecond),
+		snap.SpeedupX)
+	data, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	if minSpeedup > 0 && snap.SpeedupX < minSpeedup {
+		return fmt.Errorf("perf regression: pipelined speedup %.2fx below the %.1fx gate", snap.SpeedupX, minSpeedup)
 	}
 	return nil
 }

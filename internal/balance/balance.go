@@ -88,6 +88,15 @@ type Options struct {
 	// Prober is the health check Probe runs against ejected endpoints;
 	// nil leaves probing to the caller (Probe is then a no-op).
 	Prober Prober
+	// ConnHealth, when set, reports the state of the caller's pooled
+	// connection to addr: nil when none is pooled or the pooled one is
+	// usable, its terminal error once it is dead. Least-loaded routing
+	// uses it to deprioritize endpoints whose connection is known dead —
+	// a dead connection reports zero calls in flight, which otherwise
+	// makes a freshly died endpoint look like the idlest of the fleet
+	// and draws the whole call stream onto it until ejection catches up.
+	// FleetStub installs the rmi client's ConnState here by default.
+	ConnHealth func(addr string) error
 }
 
 func (o Options) withDefaults() Options {
@@ -214,20 +223,33 @@ func (b *Balancer) pick(key uint64, exclude map[string]bool) (string, error) {
 	var chosen string
 	switch b.opts.Policy {
 	case LeastLoaded:
-		var ties []*endpoint
-		best := -1
+		// Score in two tiers: endpoints whose pooled connection is live
+		// (or not yet dialed) and endpoints whose connection is known
+		// dead. The dead tier is only drawn from when the live tier is
+		// empty — a dead connection's zero in-flight count must not win
+		// the idleness comparison against endpoints doing real work, but
+		// a dead *connection* is not yet a dead *endpoint* (redial may
+		// succeed), so it still beats failing the pick outright.
+		var ties, deadTies []*endpoint
+		best, deadBest := -1, -1
 		for _, ep := range b.eps {
 			if !usable(ep.addr) {
 				continue
 			}
-			switch {
-			case best < 0 || ep.inFlight < best:
-				best = ep.inFlight
-				ties = ties[:0]
-				ties = append(ties, ep)
-			case ep.inFlight == best:
-				ties = append(ties, ep)
+			tier, tierBest := &ties, &best
+			if b.opts.ConnHealth != nil && b.opts.ConnHealth(ep.addr) != nil {
+				tier, tierBest = &deadTies, &deadBest
 			}
+			switch {
+			case *tierBest < 0 || ep.inFlight < *tierBest:
+				*tierBest = ep.inFlight
+				*tier = append((*tier)[:0], ep)
+			case ep.inFlight == *tierBest:
+				*tier = append(*tier, ep)
+			}
+		}
+		if len(ties) == 0 {
+			ties = deadTies
 		}
 		if len(ties) > 0 {
 			// Deterministic tie-break: sort by name, then one seeded

@@ -384,3 +384,65 @@ func TestMembershipValidation(t *testing.T) {
 	// still be in flight when membership changes).
 	b.Done("zz", nil)
 }
+
+// TestLeastLoadedDeadConnGate: an endpoint whose pooled connection is
+// known dead reports zero in-flight calls, which without the ConnHealth
+// gate makes it the idlest-looking endpoint in the fleet — least-loaded
+// would pour the whole call stream onto it until ejection caught up.
+// With the gate, a dead-connection endpoint is never picked while any
+// live-connection endpoint is usable.
+func TestLeastLoadedDeadConnGate(t *testing.T) {
+	dead := map[string]error{"s1": errors.New("transport: connection closed")}
+	b := mustNew(t, addrs(3), Options{
+		Policy: LeastLoaded,
+		Seed:   42,
+		ConnHealth: func(addr string) error {
+			return dead[addr]
+		},
+	})
+	// Load the live endpoints so s1's zero in-flight count would win every
+	// idleness comparison if the gate were absent.
+	for i := 0; i < 4; i++ {
+		addr, err := b.Pick(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if addr == "s1" {
+			t.Fatalf("pick %d chose the dead-connection endpoint s1", i)
+		}
+	}
+	// Steady state: picks keep landing on the live endpoints only.
+	for i := 0; i < 100; i++ {
+		addr, err := b.Pick(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if addr == "s1" {
+			t.Fatalf("steady-state pick %d chose the dead-connection endpoint s1", i)
+		}
+		b.Done(addr, nil)
+	}
+	// Last resort: with every live endpoint excluded, the dead-connection
+	// endpoint is still picked (redial may succeed) rather than failing.
+	addr, err := b.PickExcluding(0, map[string]bool{"s0": true, "s2": true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if addr != "s1" {
+		t.Fatalf("exclusion fallback picked %s, want s1", addr)
+	}
+	b.Done(addr, nil)
+	// A healed connection rejoins the load comparison immediately.
+	delete(dead, "s1")
+	seen := map[string]bool{}
+	for i := 0; i < 3; i++ {
+		a, err := b.Pick(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seen[a] = true
+	}
+	if !seen["s1"] {
+		t.Fatalf("healed endpoint s1 never picked; saw %v", seen)
+	}
+}

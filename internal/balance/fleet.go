@@ -24,12 +24,22 @@ type FleetStub struct {
 // tries at most one attempt per fleet endpoint. If the balancer has no
 // prober configured, the client's transport ping is installed, so
 // ejected endpoints heal through the same pooled connections the calls
-// use.
+// use; likewise the client's pooled-connection health feeds the
+// least-loaded policy's dead-connection gate (Options.ConnHealth).
 func NewFleetStub(c *rmi.Client, b *Balancer, object string) *FleetStub {
 	b.mu.Lock()
 	if b.opts.Prober == nil {
 		b.opts.Prober = func(ctx context.Context, addr string) error {
 			return c.Ping(ctx, addr)
+		}
+	}
+	if b.opts.ConnHealth == nil {
+		b.opts.ConnHealth = func(addr string) error {
+			pooled, _, err := c.ConnState(addr)
+			if !pooled {
+				return nil
+			}
+			return err
 		}
 	}
 	n := len(b.eps)

@@ -5,6 +5,7 @@ import (
 	"io"
 	"reflect"
 	"sort"
+	"sync"
 
 	"nrmi/internal/graph"
 	"nrmi/internal/obs"
@@ -31,7 +32,27 @@ type Call struct {
 	finished        bool
 	// pooled records that enc came from the codec pool and must go back.
 	pooled bool
+
+	// commitMu, when set, is held for the whole response apply: map
+	// re-walk, validate, and commit. The walk and validation *read* the
+	// caller's argument graph, and two concurrently consumed calls may
+	// share objects in that graph — so reads must not interleave with
+	// another call's commit writes, and commits must not interleave with
+	// each other. Promise layers install one lock per client; whole calls
+	// then apply serially, in consumption order.
+	commitMu sync.Locker
 }
+
+// SetCommitLock installs a lock serializing this call's response apply
+// (graph walk, validation, restore commit) against other calls sharing
+// the same lock. A call that carries no restorable arguments does not
+// need it: it neither re-reads nor overwrites caller state.
+func (c *Call) SetCommitLock(mu sync.Locker) { c.commitMu = mu }
+
+// NumRestorable reports how many restorable arguments were encoded — the
+// signal promise layers use to skip commit serialization (and one-way
+// layers use to reject calls that would need a reply to restore from).
+func (c *Call) NumRestorable() int { return c.numRestorable }
 
 // SetObs attaches the per-call observability collector. The Call only
 // borrows it: the rmi layer owns the collector's lifecycle and must keep
@@ -63,6 +84,7 @@ func (c *Call) Release() {
 	c.enc = nil
 	c.oc = nil
 	c.restorableRoots = nil
+	c.commitMu = nil
 }
 
 // EncodeCopy encodes a call-by-copy argument. Structure shared with other
@@ -224,6 +246,13 @@ func (c *Call) ApplyResponseBytes(data []byte) (*Response, error) {
 }
 
 func (c *Call) apply(dec *wire.Decoder, kernels bool) (*Response, error) {
+	if c.commitMu != nil {
+		// See the commitMu field comment: the map walk and validation read
+		// objects a concurrently applying call may be committing into, so
+		// the whole apply serializes, not just the overwrite phase.
+		c.commitMu.Lock()
+		defer c.commitMu.Unlock()
+	}
 	sp := c.oc.Start(obs.PhaseMapWalk)
 	set, err := c.restorableSet()
 	sp.EndN(0, int64(len(set)))

@@ -38,7 +38,62 @@ type ServerCall struct {
 
 	// pooled records that dec came from the codec pool and must go back.
 	pooled bool
+
+	// batch, when set, supplies shared prepare-phase scratch state (walker
+	// + identity map) reused across the calls of one server-side batch
+	// dispatch; see Batch.
+	batch *Batch
 }
+
+// Batch holds the prepare-phase scratch state — a reachability walker and
+// an identity-to-stream-ID map — reused across a run of ServerCalls
+// dispatched back to back, amortizing the per-call linear-map capture
+// cost that motivates server-side call coalescing. A Batch serializes
+// nothing itself: it must only be attached to calls executed strictly one
+// at a time, each finishing EncodeResponse before the next call's
+// Prepare.
+type Batch struct {
+	w         *graph.Walker
+	identToID map[graph.Ident]int
+	calls     int
+}
+
+// NewBatch returns an empty batch. Release it when the run is over.
+func NewBatch() *Batch {
+	return &Batch{identToID: make(map[graph.Ident]int)}
+}
+
+// Release returns the batch's pooled walker. Safe on nil.
+func (b *Batch) Release() {
+	if b == nil {
+		return
+	}
+	if b.w != nil {
+		graph.ReleaseWalker(b.w)
+		b.w = nil
+	}
+	b.identToID = nil
+}
+
+// Calls reports how many prepares ran against this batch.
+func (b *Batch) Calls() int { return b.calls }
+
+// walker returns the batch's walker reset for a fresh traversal under the
+// given mode. The first use acquires it from the pool; Release parks it.
+func (b *Batch) walker(mode graph.AccessMode, kernels bool) *graph.Walker {
+	if b.w == nil {
+		b.w = graph.AcquireWalker(mode)
+	} else {
+		b.w.Reset()
+	}
+	b.w.Access = mode
+	b.w.NoKernels = !kernels
+	return b.w
+}
+
+// SetBatch attaches shared prepare scratch state; call it before Prepare.
+// The ServerCall borrows the batch — Release leaves it untouched.
+func (s *ServerCall) SetBatch(b *Batch) { s.batch = b }
 
 // AcceptCall starts decoding a request from r.
 func AcceptCall(r io.Reader, opts Options) *ServerCall {
@@ -88,6 +143,7 @@ func (s *ServerCall) Release() {
 	s.restoreIDs = nil
 	s.identToID = nil
 	s.snapshot = nil
+	s.batch = nil
 }
 
 // DecodeCopy decodes a call-by-copy argument.
@@ -166,7 +222,15 @@ func (s *ServerCall) prepare() error {
 		}
 	}
 	access := s.effectiveAccess()
-	s.identToID = make(map[graph.Ident]int, len(s.dec.Objects()))
+	if s.batch != nil {
+		// Reuse the batch's identity map (cleared, capacity kept) instead
+		// of allocating one per call.
+		clear(s.batch.identToID)
+		s.identToID = s.batch.identToID
+		s.batch.calls++
+	} else {
+		s.identToID = make(map[graph.Ident]int, len(s.dec.Objects()))
+	}
 	for id, obj := range s.dec.Objects() {
 		if ident, ok := graph.IdentOf(obj); ok {
 			s.identToID[ident] = id
@@ -218,12 +282,17 @@ func (s *ServerCall) effectiveAccess() graph.AccessMode {
 // error, since the pre-call roots came from the table itself.
 func (s *ServerCall) reachableIDs(access graph.AccessMode, allowNew bool) ([]int, error) {
 	var w *graph.Walker
-	if s.opts.kernelsEnabled() {
+	switch {
+	case s.batch != nil:
+		// Batched dispatch: every walk in the batch shares one walker,
+		// reset between uses; the leader releases it with the batch.
+		w = s.batch.walker(access, s.opts.kernelsEnabled())
+	case s.opts.kernelsEnabled():
 		// Only plain stream IDs leave this function, so the pooled walker's
 		// no-retention contract holds.
 		w = graph.AcquireWalker(access)
 		defer graph.ReleaseWalker(w)
-	} else {
+	default:
 		w = graph.NewWalker(access)
 		w.NoKernels = true
 	}

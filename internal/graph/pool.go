@@ -39,3 +39,9 @@ func (w *Walker) reset() {
 	clear(w.done)
 	w.lm.reset()
 }
+
+// Reset clears w's traversal state for reuse without returning it to the
+// pool — the batch-dispatch idiom: acquire once, Reset between the calls
+// of a batch, release once. The no-retention contract applies at each
+// Reset exactly as at ReleaseWalker.
+func (w *Walker) Reset() { w.reset() }

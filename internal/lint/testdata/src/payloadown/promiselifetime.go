@@ -1,0 +1,120 @@
+package payloadown
+
+import (
+	"context"
+	"io"
+)
+
+// The async promise path (rmi.Promise) lengthens the reply payload's
+// lifetime further than the V3 restore path does: the payload is read
+// on the transport's read loop, parked in the pending entry, and only
+// consumed — or abandoned — whenever the application gets around to
+// Wait. Exactly one of Wait's restore apply and Abandon's release may
+// return the buffer to the pool. These fixtures pin the promise-held
+// ownership shapes.
+
+// promise mirrors rmi.Promise by shape: the retained reply payload is
+// pool-owned until the promise is consumed or abandoned.
+type promise struct {
+	method  string
+	payload []byte
+}
+
+// pendingReply mirrors a delivered pending entry: the returned
+// promise's payload is owned by the caller. The frame's buffer
+// transfers into the promise value, which is itself a payload source
+// for callers.
+func pendingReply(r io.Reader) (promise, error) {
+	f, err := readFrame(r)
+	if err != nil {
+		return promise{}, err
+	}
+	return promise{method: "Scale", payload: f.payload}, nil
+}
+
+// WaitConsume is the correct Wait shape: the payload survives the whole
+// restore apply and goes back to the pool exactly once afterwards, on
+// the success and the failure path alike.
+func WaitConsume(r io.Reader) error {
+	p, err := pendingReply(r)
+	if err != nil {
+		return err
+	}
+	applyErr := applyRestore(p.payload)
+	ReleasePayload(p.payload)
+	return applyErr
+}
+
+// AbandonRelease is the correct Abandon shape: a reply that will never
+// be consumed still returns to the pool, exactly once, on the abandon
+// arm itself.
+func AbandonRelease(ctx context.Context, r io.Reader) error {
+	p, err := pendingReply(r)
+	if err != nil {
+		return err
+	}
+	select {
+	case <-ctx.Done():
+		ReleasePayload(p.payload)
+		return ctx.Err()
+	default:
+	}
+	applyErr := applyRestore(p.payload)
+	ReleasePayload(p.payload)
+	return applyErr
+}
+
+// AbandonLeak forgets the parked reply when the promise is abandoned —
+// the exact leak the promise lifetime invites, since no Wait will ever
+// run to consume it.
+func AbandonLeak(ctx context.Context, r io.Reader) error {
+	p, err := pendingReply(r)
+	if err != nil {
+		return err
+	}
+	select {
+	case <-ctx.Done():
+		return ctx.Err() // want `p \(from pendingReply at line \d+\) may not be released on a path reaching this return`
+	default:
+	}
+	applyErr := applyRestore(p.payload)
+	ReleasePayload(p.payload)
+	return applyErr
+}
+
+// AbandonThenSettle releases on the abandon branch and then falls
+// through to the settle release: the abandon path now puts the same
+// buffer twice, handing it out to two future replies at once.
+func AbandonThenSettle(abandoned bool, r io.Reader) error {
+	p, err := pendingReply(r)
+	if err != nil {
+		return err
+	}
+	if abandoned {
+		ReleasePayload(p.payload)
+	}
+	applyErr := applyRestore(p.payload)
+	ReleasePayload(p.payload) // want `may already have been released on a path`
+	return applyErr
+}
+
+// ResendOverwrite re-issues a call while the previous attempt's reply
+// is still parked on the promise: the overwrite drops the only
+// reference to a buffer the pool still considers checked out. The fix
+// is what rmi.Promise does — abandon (release) the superseded reply
+// before re-sending.
+func ResendOverwrite(r io.Reader, attempts int) error {
+	p, err := pendingReply(r)
+	if err != nil {
+		return err
+	}
+	for i := 1; i < attempts; i++ {
+		p, err = pendingReply(r) // want `p is overwritten while it may still own a pooled payload`
+		if err != nil {
+			return err
+		}
+	}
+	applyErr := applyRestore(p.payload)
+	ReleasePayload(p.payload)
+	return applyErr
+}

@@ -73,9 +73,17 @@ const (
 	// filtering, content records, return values.
 	PhaseSrvEncode
 
+	// PhaseAsyncIssue is the client-side issue half of a promise call:
+	// argument encode plus the non-blocking request send of CallAsync.
+	PhaseAsyncIssue
+	// PhaseAsyncAwait is the client-side consumption half of a promise
+	// call: waiting for (or retrying toward) the reply plus decode and
+	// restore commit, measured from Wait entry.
+	PhaseAsyncAwait
+
 	// NumPhases is the number of Phase constants; CallStats arrays are
 	// indexed by Phase.
-	NumPhases = 10
+	NumPhases = 12
 )
 
 var phaseNames = [NumPhases]string{
@@ -89,6 +97,8 @@ var phaseNames = [NumPhases]string{
 	"srv-snapshot",
 	"srv-execute",
 	"srv-encode",
+	"async-issue",
+	"async-await",
 }
 
 // String returns the phase's stable wire name (used in JSON exports).

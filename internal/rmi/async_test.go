@@ -1,0 +1,498 @@
+package rmi
+
+// Async promise, one-way, and batch-dispatch tests. The sharp edges under
+// test are the restore semantics: a retried promise never double-commits,
+// concurrent promise consumptions serialize their commits, an abandoned
+// promise releases its reply payload exactly once (bufpool-ledger
+// audited) and never touches the caller's graph, and batch dispatch
+// changes scheduling but not per-call restore results.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"nrmi/internal/bufpool"
+	"nrmi/internal/core"
+	"nrmi/internal/netsim"
+	"nrmi/internal/wire"
+)
+
+// AsyncService is the remote side: chaosMutate-based restorable
+// mutations, a gate for pinning calls in execution, and plain arithmetic.
+type AsyncService struct {
+	mu    sync.Mutex
+	calls int
+	gate  chan struct{}
+}
+
+// Scale applies chaosMutate and returns the node count.
+func (s *AsyncService) Scale(t *RTree, k int) int {
+	s.mu.Lock()
+	s.calls++
+	s.mu.Unlock()
+	return chaosMutate(t, k)
+}
+
+// GatedScale is Scale, blocked until the test opens the gate.
+func (s *AsyncService) GatedScale(t *RTree, k int) int {
+	<-s.gate
+	return s.Scale(t, k)
+}
+
+// Add returns a+b.
+func (s *AsyncService) Add(a, b int) int {
+	s.mu.Lock()
+	s.calls++
+	s.mu.Unlock()
+	return a + b
+}
+
+// Fail always errors.
+func (s *AsyncService) Fail() error { return errors.New("deliberate failure") }
+
+// Calls reports how many invocations executed.
+func (s *AsyncService) Calls() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.calls
+}
+
+// newAsyncEnv builds a server+client world over a loopback netsim link;
+// mut adjusts the shared options (applied to both endpoints) before
+// construction.
+func newAsyncEnv(t *testing.T, mut func(*Options)) (*Client, *AsyncService, *Server) {
+	t.Helper()
+	reg := wire.NewRegistry()
+	if err := reg.Register("RTree", RTree{}); err != nil {
+		t.Fatal(err)
+	}
+	opts := Options{Core: core.Options{Registry: reg}}
+	if mut != nil {
+		mut(&opts)
+	}
+	n := netsim.NewNetwork(netsim.Loopback())
+	t.Cleanup(func() { n.Close() })
+	srv, err := NewServer("server", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc := &AsyncService{gate: make(chan struct{})}
+	if err := srv.Export("async", svc); err != nil {
+		t.Fatal(err)
+	}
+	ln, err := n.Listen("server")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.Serve(ln)
+	t.Cleanup(func() { srv.Close() })
+	cl, err := NewClient(n.Dial, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { cl.Close() })
+	return cl, svc, srv
+}
+
+// TestAsyncPipelinedRestore: K promises issued back to back, consumed in
+// order. Each carries its own restorable tree; every restore must land
+// exactly as a synchronous call's would.
+func TestAsyncPipelinedRestore(t *testing.T) {
+	cl, svc, _ := newAsyncEnv(t, nil)
+	stub := cl.Stub("server", "async")
+	ctx := context.Background()
+	const K = 8
+	roots := make([]*RTree, K)
+	snaps := make([]*RTree, K)
+	ps := make([]*Promise, K)
+	for i := 0; i < K; i++ {
+		roots[i] = chaosTree()
+		snaps[i] = snapshotTree(t, roots[i])
+		p, err := stub.CallAsync(ctx, "Scale", roots[i], i+1)
+		if err != nil {
+			t.Fatalf("CallAsync %d: %v", i, err)
+		}
+		ps[i] = p
+	}
+	for i, p := range ps {
+		rets, err := p.Wait(ctx)
+		if err != nil {
+			t.Fatalf("Wait %d: %v", i, err)
+		}
+		want := chaosMutate(snaps[i], i+1)
+		if got := rets[0].(int); got != want {
+			t.Fatalf("promise %d: Scale returned %d, want %d", i, got, want)
+		}
+		if !treesEqual(t, roots[i], snaps[i]) {
+			t.Fatalf("promise %d: restored the wrong graph", i)
+		}
+	}
+	if svc.Calls() != K {
+		t.Fatalf("server saw %d calls, want %d", svc.Calls(), K)
+	}
+	cm := cl.Metrics()
+	if cm.AsyncIssued != K || cm.CallsIssued != K || cm.CallErrors != 0 {
+		t.Fatalf("metrics: AsyncIssued=%d CallsIssued=%d CallErrors=%d", cm.AsyncIssued, cm.CallsIssued, cm.CallErrors)
+	}
+	// Settled promises keep answering without further effect.
+	if rets, err := ps[0].Wait(ctx); err != nil || rets[0].(int) != 5 {
+		t.Fatalf("re-Wait: %v %v", rets, err)
+	}
+}
+
+// TestAsyncThenAll: Then pipelines a dependent call inside one Wait; All
+// joins in order and abandons the rest on first error.
+func TestAsyncThenAll(t *testing.T) {
+	cl, _, _ := newAsyncEnv(t, nil)
+	stub := cl.Stub("server", "async")
+	ctx := context.Background()
+
+	p, err := stub.CallAsync(ctx, "Add", 2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chained := p.Then(func(rets []any) (*Promise, error) {
+		return stub.CallAsync(ctx, "Add", rets[0].(int), 10)
+	})
+	rets, err := chained.Wait(ctx)
+	if err != nil || rets[0].(int) != 15 {
+		t.Fatalf("Then chain: %v %v", rets, err)
+	}
+
+	good1, err := stub.CallAsync(ctx, "Add", 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad, err := stub.CallAsync(ctx, "Fail")
+	if err != nil {
+		t.Fatal(err)
+	}
+	good2, err := stub.CallAsync(ctx, "Add", 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := All(ctx, good1, bad, good2); err == nil {
+		t.Fatal("All must surface the failure")
+	}
+	if _, err := good2.Wait(ctx); !errors.Is(err, ErrPromiseAbandoned) {
+		t.Fatalf("promise after the failure: err=%v, want abandoned", err)
+	}
+
+	ok1, _ := stub.CallAsync(ctx, "Add", 1, 2)
+	ok2, _ := stub.CallAsync(ctx, "Add", 3, 4)
+	all, err := All(ctx, ok1, ok2)
+	if err != nil || all[0][0].(int) != 3 || all[1][0].(int) != 7 {
+		t.Fatalf("All: %v %v", all, err)
+	}
+}
+
+// TestAsyncRetryNoDoubleCommit: the first request frame is dropped, the
+// retry layer re-sends, and the single server execution commits exactly
+// once — the restored graph matches one application of the mutation.
+func TestAsyncRetryNoDoubleCommit(t *testing.T) {
+	env := newChaosEnv(t, netsim.NewPlan(0).DropFrame(1),
+		RetryPolicy{MaxAttempts: 4, BaseDelay: 5 * time.Millisecond, Seed: 1},
+		150*time.Millisecond)
+	stub := env.client.Stub("server", "chaos")
+	ctx := context.Background()
+	root := chaosTree()
+	snap := snapshotTree(t, root)
+	p, err := stub.CallAsync(ctx, "Scale", root, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rets, err := p.Wait(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := chaosMutate(snap, 3)
+	if got := rets[0].(int); got != want {
+		t.Fatalf("Scale returned %d, want %d", got, want)
+	}
+	if !treesEqual(t, root, snap) {
+		t.Fatal("retried promise committed the wrong graph")
+	}
+	if env.svc.Calls() != 1 {
+		t.Fatalf("server executed %d times, want 1", env.svc.Calls())
+	}
+	cm := env.client.Metrics()
+	if cm.Retries < 1 {
+		t.Fatalf("Retries = %d, want ≥ 1 (the dropped frame was re-sent)", cm.Retries)
+	}
+}
+
+// TestAsyncConsumedNeverResent: a response consumed by a failing apply
+// must refuse the retry policy — the async mirror of the sync
+// exactly-once guard.
+func TestAsyncConsumedNeverResent(t *testing.T) {
+	var consumed ResponseConsumedError
+	if Retryable(&consumed) {
+		t.Fatal("consumed responses must never be retryable")
+	}
+}
+
+// TestAsyncCommitSerialization: N promises sharing one restorable root
+// are consumed from N goroutines at once. The commit lock must serialize
+// the overwrite phases (the race detector proves it), and the final graph
+// must equal one call's complete result — never an interleaving.
+func TestAsyncCommitSerialization(t *testing.T) {
+	cl, _, _ := newAsyncEnv(t, nil)
+	stub := cl.Stub("server", "async")
+	ctx := context.Background()
+	const N = 4
+	root := chaosTree()
+	snap := snapshotTree(t, root)
+	ps := make([]*Promise, N)
+	for i := range ps {
+		p, err := stub.CallAsync(ctx, "Scale", root, i+1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ps[i] = p
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, N)
+	for i, p := range ps {
+		wg.Add(1)
+		go func(i int, p *Promise) {
+			defer wg.Done()
+			_, errs[i] = p.WaitStats(ctx)
+		}(i, p)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("promise %d: %v", i, err)
+		}
+	}
+	// Whichever consumption committed last, its complete result must be
+	// what the graph holds: all candidates derive from the same issue-time
+	// snapshot, since every promise encoded before any commit ran.
+	matched := false
+	for k := 1; k <= N; k++ {
+		cand := snapshotTree(t, snap)
+		chaosMutate(cand, k)
+		if treesEqual(t, root, cand) {
+			matched = true
+			break
+		}
+	}
+	if !matched {
+		t.Fatal("final graph matches no single call's result: commits interleaved")
+	}
+}
+
+// TestAsyncAbandonLedger: an abandoned promise never mutates the graph,
+// its reply payload is recycled exactly once whichever side of the
+// delivery race wins, and the pool ledger settles with nothing
+// outstanding.
+func TestAsyncAbandonLedger(t *testing.T) {
+	bufpool.SetDebug(true)
+	defer bufpool.SetDebug(false)
+	cl, svc, _ := newAsyncEnv(t, nil)
+	stub := cl.Stub("server", "async")
+	ctx := context.Background()
+
+	// Abandon before the reply: the handler is gated, so the reply cannot
+	// have been delivered yet.
+	root := chaosTree()
+	snap := snapshotTree(t, root)
+	p1, err := stub.CallAsync(ctx, "GatedScale", root, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p1.Abandon()
+	if _, err := p1.Wait(ctx); !errors.Is(err, ErrPromiseAbandoned) {
+		t.Fatalf("Wait after Abandon: %v", err)
+	}
+	close(svc.gate) // late reply arrives with no pending owner
+	if !treesEqual(t, root, snap) {
+		t.Fatal("abandoned promise mutated the caller's graph")
+	}
+
+	// Abandon after the reply has been delivered to the promise.
+	p2, err := stub.CallAsync(ctx, "Add", 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for !p2.Ready() {
+		time.Sleep(time.Millisecond)
+	}
+	p2.Abandon()
+	p2.Abandon() // idempotent
+
+	cm := cl.Metrics()
+	if cm.PromisesAbandoned != 2 || cm.CallErrors != 2 {
+		t.Fatalf("PromisesAbandoned=%d CallErrors=%d, want 2/2", cm.PromisesAbandoned, cm.CallErrors)
+	}
+
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		s := bufpool.DebugSnapshot()
+		if s.DoublePuts != 0 {
+			t.Fatalf("double-Put detected: %+v", s)
+		}
+		if s.Outstanding == 0 {
+			if s.Gets == 0 {
+				t.Fatal("ledger saw no pool traffic; the test is vacuous")
+			}
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("payloads still outstanding: %+v", s)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestOneWayCall: fire-and-forget calls execute on the server, restorable
+// arguments are rejected, and the connection stays usable for normal
+// calls afterwards.
+func TestOneWayCall(t *testing.T) {
+	cl, svc, _ := newAsyncEnv(t, nil)
+	stub := cl.Stub("server", "async")
+	ctx := context.Background()
+
+	if err := stub.CallOneWay(ctx, "Add", 1, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := stub.CallOneWay(ctx, "Scale", chaosTree(), 1); !errors.Is(err, ErrOneWayRestorable) {
+		t.Fatalf("restorable one-way: err=%v, want ErrOneWayRestorable", err)
+	}
+	// The connection stays usable for normal calls after a one-way frame.
+	rets, err := stub.Call(ctx, "Add", 10, 20)
+	if err != nil || rets[0].(int) != 30 {
+		t.Fatalf("sync after one-way: %v %v", rets, err)
+	}
+	// Handlers run concurrently per frame, so the one-way execution is
+	// awaited, not assumed ordered before the sync reply.
+	deadline := time.Now().Add(5 * time.Second)
+	for svc.Calls() != 2 {
+		if time.Now().After(deadline) {
+			t.Fatalf("server saw %d calls, want 2 (one-way + sync)", svc.Calls())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	cm := cl.Metrics()
+	if cm.OneWays != 1 {
+		t.Fatalf("OneWays = %d, want 1 (the rejected restorable call never issued)", cm.OneWays)
+	}
+}
+
+// TestBatchDispatch: with BatchCalls enabled and a leader pinned in
+// execution, concurrently issued calls to the same export coalesce into
+// one leader-driven run — and every batched call still gets its own
+// correct reply and restore.
+func TestBatchDispatch(t *testing.T) {
+	cl, svc, srv := newAsyncEnv(t, func(o *Options) { o.BatchCalls = 8 })
+	stub := cl.Stub("server", "async")
+	ctx := context.Background()
+	const K = 6
+	roots := make([]*RTree, K)
+	snaps := make([]*RTree, K)
+	ps := make([]*Promise, K)
+	for i := 0; i < K; i++ {
+		roots[i] = chaosTree()
+		snaps[i] = snapshotTree(t, roots[i])
+		p, err := stub.CallAsync(ctx, "GatedScale", roots[i], i+1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ps[i] = p
+	}
+	// The leader is pinned in GatedScale; give the followers time to reach
+	// the batcher's queue, then open the gate and drain.
+	time.Sleep(300 * time.Millisecond)
+	close(svc.gate)
+	for i, p := range ps {
+		rets, err := p.Wait(ctx)
+		if err != nil {
+			t.Fatalf("promise %d: %v", i, err)
+		}
+		want := chaosMutate(snaps[i], i+1)
+		if got := rets[0].(int); got != want {
+			t.Fatalf("promise %d: got %d, want %d", i, got, want)
+		}
+		if !treesEqual(t, roots[i], snaps[i]) {
+			t.Fatalf("promise %d: wrong restore under batching", i)
+		}
+	}
+	sm := srv.Metrics()
+	if sm.BatchesDispatched < 1 || sm.BatchedCalls < 2 {
+		t.Fatalf("no coalescing observed: batches=%d batchedCalls=%d", sm.BatchesDispatched, sm.BatchedCalls)
+	}
+	if sm.BatchedCalls > sm.CallsServed {
+		t.Fatalf("BatchedCalls %d > CallsServed %d", sm.BatchedCalls, sm.CallsServed)
+	}
+	t.Logf("batches=%d batchedCalls=%d of %d calls", sm.BatchesDispatched, sm.BatchedCalls, sm.CallsServed)
+}
+
+// TestChaosAsync extends the chaos suite to promises: under seeded fault
+// plans, each promise owns its own tree, and the §6.2 invariant holds
+// per promise — failure leaves its tree bit-identical, success leaves it
+// exactly one mutation ahead.
+func TestChaosAsync(t *testing.T) {
+	const rounds, width = 6, 4
+	for _, seed := range chaosSeeds(t) {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			t.Parallel()
+			t.Logf("fault-plan seed %d (replay: CHAOS_SEED=%d go test -run TestChaosAsync)", seed, seed)
+			plan := netsim.RandomPlan(seed, netsim.Rates{
+				Drop:      0.12,
+				Delay:     0.08,
+				MaxDelay:  40 * time.Millisecond,
+				Duplicate: 0.08,
+				Sever:     0.06,
+			})
+			env := newChaosEnv(t, plan,
+				RetryPolicy{MaxAttempts: 3, BaseDelay: 5 * time.Millisecond, Seed: seed},
+				150*time.Millisecond)
+			stub := env.client.Stub("server", "chaos")
+			ctx := context.Background()
+			failed := 0
+			for r := 0; r < rounds; r++ {
+				roots := make([]*RTree, width)
+				snaps := make([]*RTree, width)
+				ps := make([]*Promise, width)
+				for i := range ps {
+					roots[i] = chaosTree()
+					snaps[i] = snapshotTree(t, roots[i])
+					p, err := stub.CallAsync(ctx, "Scale", roots[i], r+1)
+					if err != nil {
+						failed++
+						continue
+					}
+					ps[i] = p
+				}
+				for i, p := range ps {
+					if p == nil {
+						continue
+					}
+					rets, err := p.Wait(ctx)
+					if err != nil {
+						failed++
+						if !treesEqual(t, roots[i], snaps[i]) {
+							t.Fatalf("seed %d round %d promise %d: FAILED promise mutated the graph (err was %v)", seed, r, i, err)
+						}
+						continue
+					}
+					want := chaosMutate(snaps[i], r+1)
+					if got := rets[0].(int); got != want {
+						t.Fatalf("seed %d round %d promise %d: got %d nodes, want %d", seed, r, i, got, want)
+					}
+					if !treesEqual(t, roots[i], snaps[i]) {
+						t.Fatalf("seed %d round %d promise %d: successful promise restored the wrong graph", seed, r, i)
+					}
+				}
+			}
+			st := env.net.Stats()
+			t.Logf("seed %d: %d promises failed; faults dropped=%d delayed=%d dup=%d severed=%d",
+				seed, failed, st.Dropped, st.Delayed, st.Duplicated, st.Severed)
+		})
+	}
+}

@@ -41,6 +41,15 @@ type Client struct {
 	// arguments (callbacks) and for resolving references to local objects.
 	local *Server
 
+	// commitMu serializes response applies across this client's calls.
+	// With promises, several replies can be consumed concurrently, and
+	// their argument graphs may share objects: one call's restore walk
+	// and validation must not read what another call's commit is
+	// overwriting, so every call carrying restorable arguments applies
+	// its response under this lock (core.Call.SetCommitLock). Calls
+	// without restorable arguments never take it.
+	commitMu sync.Mutex
+
 	// engineMu guards v2Peers: addresses whose servers rejected an
 	// engine-V3 request header ("unknown engine"). Later calls to such an
 	// address encode V2 immediately instead of paying a rejected round
@@ -283,6 +292,12 @@ func (st *Stub) doCallEngine(ctx context.Context, oc *obs.Call, method string, c
 	sp.EndBytes(int64(req.Len()))
 	if err != nil {
 		return nil, err
+	}
+	if call.NumRestorable() > 0 {
+		// Synchronous calls take the same commit lock as promises, so a
+		// sync call racing a promise consumption cannot interleave
+		// overwrites either.
+		call.SetCommitLock(&c.commitMu)
 	}
 	c.opts.Host.Charge(time.Since(marshalStart))
 	c.metrics.bytesSent.Add(int64(req.Len()))

@@ -31,6 +31,12 @@ type clientMetrics struct {
 	// steady state).
 	engineFallbacks atomic.Int64
 
+	// Async counters: promises issued by CallAsync, promises relinquished
+	// via Abandon before consumption, and one-way (no-reply) calls.
+	asyncIssued       atomic.Int64
+	promisesAbandoned atomic.Int64
+	oneWays           atomic.Int64
+
 	causeMu        sync.Mutex
 	evictionCauses map[string]int64
 }
@@ -91,6 +97,14 @@ type ClientMetrics struct {
 	// EngineFallbacks counts engine-V3 requests that were re-encoded and
 	// re-sent as V2 after the peer rejected the V3 stream header.
 	EngineFallbacks int64
+	// AsyncIssued counts promises successfully issued by CallAsync. Each
+	// also counts under CallsIssued when it settles (Wait or Abandon).
+	AsyncIssued int64
+	// PromisesAbandoned counts promises relinquished via Abandon before
+	// consumption; each contributes one CallError with ErrPromiseAbandoned.
+	PromisesAbandoned int64
+	// OneWays counts fire-and-forget invocations issued by CallOneWay.
+	OneWays int64
 }
 
 // Metrics returns a snapshot of the client's counters. Counters are read
@@ -98,17 +112,20 @@ type ClientMetrics struct {
 // by in-flight updates, but each counter is itself exact and monotonic.
 func (c *Client) Metrics() ClientMetrics {
 	m := ClientMetrics{
-		CallsIssued:      c.metrics.calls.Load(),
-		CallErrors:       c.metrics.errors.Load(),
-		Attempts:         c.metrics.attempts.Load(),
-		Retries:          c.metrics.retries.Load(),
-		Dials:            c.metrics.dials.Load(),
-		Reconnects:       c.metrics.reconnects.Load(),
-		BytesSent:        c.metrics.bytesSent.Load(),
-		BytesReceived:    c.metrics.bytesReceived.Load(),
-		PayloadsReleased: c.metrics.payloadsReleased.Load(),
-		Evictions:        c.metrics.evictions.Load(),
-		EngineFallbacks:  c.metrics.engineFallbacks.Load(),
+		CallsIssued:       c.metrics.calls.Load(),
+		CallErrors:        c.metrics.errors.Load(),
+		Attempts:          c.metrics.attempts.Load(),
+		Retries:           c.metrics.retries.Load(),
+		Dials:             c.metrics.dials.Load(),
+		Reconnects:        c.metrics.reconnects.Load(),
+		BytesSent:         c.metrics.bytesSent.Load(),
+		BytesReceived:     c.metrics.bytesReceived.Load(),
+		PayloadsReleased:  c.metrics.payloadsReleased.Load(),
+		Evictions:         c.metrics.evictions.Load(),
+		EngineFallbacks:   c.metrics.engineFallbacks.Load(),
+		AsyncIssued:       c.metrics.asyncIssued.Load(),
+		PromisesAbandoned: c.metrics.promisesAbandoned.Load(),
+		OneWays:           c.metrics.oneWays.Load(),
 	}
 	c.metrics.causeMu.Lock()
 	if len(c.metrics.evictionCauses) > 0 {

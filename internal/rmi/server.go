@@ -49,6 +49,10 @@ type Server struct {
 	callSem chan struct{}
 	queued  atomic.Int32
 
+	// batcher coalesces concurrent calls to one export into leader-driven
+	// batch runs (see batch.go); nil when Options.BatchCalls < 2.
+	batcher *batcher
+
 	// sweeper state for the background lease collector.
 	sweepStop chan struct{}
 
@@ -88,6 +92,9 @@ func NewServer(addr string, opts Options) (*Server, error) {
 	}
 	if opts.MaxConcurrentCalls > 0 {
 		s.callSem = make(chan struct{}, opts.MaxConcurrentCalls)
+	}
+	if opts.BatchCalls >= 2 {
+		s.batcher = newBatcher()
 	}
 	return s, nil
 }
@@ -320,6 +327,12 @@ type Metrics struct {
 	// an admission slot). The method never ran, so these appear in neither
 	// CallsServed nor CallErrors nor CallsCancelled.
 	CallsAbandoned int64
+	// BatchesDispatched counts leader-driven batch runs that coalesced at
+	// least two calls (Options.BatchCalls); BatchedCalls counts the calls
+	// served inside those runs, leaders included, so BatchedCalls ≥
+	// 2 × BatchesDispatched. Batched calls also count under CallsServed.
+	BatchesDispatched int64
+	BatchedCalls      int64
 	// DrainDuration is the cumulative time Shutdown spent waiting for
 	// in-flight calls to complete.
 	DrainDuration time.Duration
@@ -327,31 +340,35 @@ type Metrics struct {
 
 // serverMetrics is the live counter set.
 type serverMetrics struct {
-	calls       atomic.Int64
-	errors      atomic.Int64
-	bytesIn     atomic.Int64
-	bytesOut    atomic.Int64
-	restored    atomic.Int64
-	rejected    atomic.Int64
-	unavailable atomic.Int64
-	cancelled   atomic.Int64
-	abandoned   atomic.Int64
-	drainNanos  atomic.Int64
+	calls        atomic.Int64
+	errors       atomic.Int64
+	bytesIn      atomic.Int64
+	bytesOut     atomic.Int64
+	restored     atomic.Int64
+	rejected     atomic.Int64
+	unavailable  atomic.Int64
+	cancelled    atomic.Int64
+	abandoned    atomic.Int64
+	batches      atomic.Int64
+	batchedCalls atomic.Int64
+	drainNanos   atomic.Int64
 }
 
 // Metrics returns a snapshot of the server's counters.
 func (s *Server) Metrics() Metrics {
 	return Metrics{
-		CallsServed:      s.metrics.calls.Load(),
-		CallErrors:       s.metrics.errors.Load(),
-		BytesIn:          s.metrics.bytesIn.Load(),
-		BytesOut:         s.metrics.bytesOut.Load(),
-		ObjectsRestored:  s.metrics.restored.Load(),
-		CallsRejected:    s.metrics.rejected.Load(),
-		CallsUnavailable: s.metrics.unavailable.Load(),
-		CallsCancelled:   s.metrics.cancelled.Load(),
-		CallsAbandoned:   s.metrics.abandoned.Load(),
-		DrainDuration:    time.Duration(s.metrics.drainNanos.Load()),
+		CallsServed:       s.metrics.calls.Load(),
+		CallErrors:        s.metrics.errors.Load(),
+		BytesIn:           s.metrics.bytesIn.Load(),
+		BytesOut:          s.metrics.bytesOut.Load(),
+		ObjectsRestored:   s.metrics.restored.Load(),
+		CallsRejected:     s.metrics.rejected.Load(),
+		CallsUnavailable:  s.metrics.unavailable.Load(),
+		CallsCancelled:    s.metrics.cancelled.Load(),
+		CallsAbandoned:    s.metrics.abandoned.Load(),
+		BatchesDispatched: s.metrics.batches.Load(),
+		BatchedCalls:      s.metrics.batchedCalls.Load(),
+		DrainDuration:     time.Duration(s.metrics.drainNanos.Load()),
 	}
 }
 
@@ -529,7 +546,7 @@ func (s *Server) handle(ctx context.Context, msgType byte, payload []byte) (out 
 		}
 		s.metrics.calls.Add(1)
 		s.metrics.bytesIn.Add(int64(len(payload)))
-		reply, err := s.handleCall(ctx, payload)
+		reply, err := s.dispatchMsgCall(ctx, payload)
 		if err != nil {
 			// errors before cancelled, so concurrent snapshots always see
 			// CallErrors ≥ CallsCancelled (calls was bumped pre-dispatch,
@@ -610,14 +627,21 @@ var errType = reflect.TypeOf((*error)(nil)).Elem()
 // receive it, and methods declaring context.Context as their first
 // parameter get it injected, so long-running handlers can stop when the
 // client has already given up. The body runs under a per-call
-// observability collector keyed by (object, method).
-func (s *Server) handleCall(ctx context.Context, payload []byte) (out []byte, err error) {
+// observability collector keyed by (object, method). cb, when non-nil, is
+// the batch scratch set shared across a leader-driven batch run (see
+// batch.go); it must be attached before Prepare runs.
+func (s *Server) handleCall(ctx context.Context, payload []byte, cb *core.Batch) (out []byte, err error) {
 	// The payload stays valid for the whole handler (the transport releases
-	// it after handleCall returns), so the decoder may slice it in place.
+	// it after handleCall returns — for a batched follower, not before the
+	// leader has delivered on its channel), so the decoder may slice it in
+	// place.
 	sc := core.AcceptCallBytes(payload, s.opts.Core)
 	// Decoded argument objects outlive the release (the pool only drops its
 	// references to them), so this is safe on every exit path.
 	defer sc.Release()
+	if cb != nil {
+		sc.SetBatch(cb)
+	}
 	objKey, err := sc.DecodeString()
 	if err != nil {
 		return nil, fmt.Errorf("rmi: reading object key: %w", err)
@@ -652,10 +676,15 @@ func (s *Server) dispatchCall(ctx context.Context, oc *obs.Call, sc *core.Server
 	if err != nil {
 		return nil, err
 	}
+	oneWay := transport.IsOneWay(ctx)
 	// Fix the pre-call object set before the method body runs (paper,
-	// Section 3, step 1 on the server side).
-	if err := sc.Prepare(); err != nil {
-		return nil, err
+	// Section 3, step 1 on the server side). One-way calls skip it: with
+	// no reply frame there is no restore section to delimit (PROTOCOL.md
+	// section 10), so the pre-call walk would measure nothing.
+	if !oneWay {
+		if err := sc.Prepare(); err != nil {
+			return nil, err
+		}
 	}
 
 	if lock := s.serializedLock(objKey); lock != nil {
@@ -667,6 +696,11 @@ func (s *Server) dispatchCall(ctx context.Context, oc *obs.Call, sc *core.Server
 	sp.End()
 	if err != nil {
 		return nil, err
+	}
+	if oneWay {
+		// Results and restore state have no consumer; the transport writes
+		// no reply frame either way.
+		return nil, nil
 	}
 
 	sp = oc.Start(obs.PhaseSrvEncode)

@@ -1,0 +1,231 @@
+package transport
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"nrmi/internal/bufpool"
+)
+
+// settleLedger polls the bufpool ledger until every buffer is back (the
+// read loop recycles asynchronously), failing on leak or double-Put.
+func settleLedger(t *testing.T) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		s := bufpool.DebugSnapshot()
+		if s.DoublePuts != 0 {
+			t.Fatalf("double-Put detected: %+v", s)
+		}
+		if s.Outstanding == 0 {
+			if s.Gets == 0 {
+				t.Fatal("ledger saw no pool traffic; the test is vacuous")
+			}
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("payload leak: %d buffers never returned (%+v)", s.Outstanding, s)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+func TestStartWaitRoundTrip(t *testing.T) {
+	c := startPair(t, func(_ context.Context, _ byte, p []byte) ([]byte, error) {
+		return append([]byte("re:"), p...), nil
+	})
+	pc, err := c.Start(context.Background(), MsgCall, []byte("hi"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := pc.Wait(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "re:hi" {
+		t.Fatalf("got %q", got)
+	}
+	ReleasePayload(got)
+	if c.InFlight() != 0 {
+		t.Fatalf("in-flight after Wait: %d", c.InFlight())
+	}
+}
+
+// TestAbandonAfterReplyDelivered forces the interleaving where the read
+// loop wins the race: the reply has been claimed and delivered before the
+// caller abandons. Abandon must recycle the payload itself, exactly once.
+func TestAbandonAfterReplyDelivered(t *testing.T) {
+	bufpool.SetDebug(true)
+	defer bufpool.SetDebug(false)
+	c := startPair(t, func(_ context.Context, _ byte, p []byte) ([]byte, error) {
+		out := make([]byte, 64)
+		copy(out, p)
+		return out, nil
+	})
+	pc, err := c.Start(context.Background(), MsgCall, make([]byte, 64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Wait until the read loop has delivered the reply, so the pending
+	// entry is provably gone before Abandon runs.
+	<-pc.Done()
+	pc.Abandon()
+	pc.Abandon() // idempotent on a settled call
+	settleLedger(t)
+}
+
+// TestAbandonBeforeReply forces the other interleaving: the caller
+// abandons while the entry is still pending (the server is blocked), and
+// the reply lands afterwards. The read loop must see it unmatched and
+// recycle it — the exact window the pre-async ctx-expiry path raced in.
+func TestAbandonBeforeReply(t *testing.T) {
+	bufpool.SetDebug(true)
+	defer bufpool.SetDebug(false)
+	release := make(chan struct{})
+	c := startPair(t, func(_ context.Context, _ byte, p []byte) ([]byte, error) {
+		<-release
+		out := make([]byte, 64)
+		copy(out, p)
+		return out, nil
+	})
+	pc, err := c.Start(context.Background(), MsgCall, make([]byte, 64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pc.Abandon()
+	if c.InFlight() != 0 {
+		t.Fatalf("abandoned call still pending: %d", c.InFlight())
+	}
+	close(release) // late reply arrives with nobody waiting
+	settleLedger(t)
+}
+
+// TestWaitCtxExpiryAbandons pins that Wait's ctx-expiry path runs the
+// same abandon protocol: the late reply is recycled by the read loop and
+// a typed CallError surfaces.
+func TestWaitCtxExpiryAbandons(t *testing.T) {
+	bufpool.SetDebug(true)
+	defer bufpool.SetDebug(false)
+	release := make(chan struct{})
+	c := startPair(t, func(_ context.Context, _ byte, p []byte) ([]byte, error) {
+		<-release
+		out := make([]byte, 64)
+		copy(out, p)
+		return out, nil
+	})
+	pc, err := c.Start(context.Background(), MsgCall, make([]byte, 64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Millisecond)
+	defer cancel()
+	_, werr := pc.Wait(ctx)
+	var ce *CallError
+	if !errors.As(werr, &ce) || ce.Phase != PhaseAwait || !ce.Sent {
+		t.Fatalf("want await-phase CallError, got %v", werr)
+	}
+	if !errors.Is(werr, context.DeadlineExceeded) {
+		t.Fatalf("cause lost: %v", werr)
+	}
+	close(release)
+	settleLedger(t)
+}
+
+// TestTeardownDeliversTypedCallError pins satellite 2: when the conn dies
+// with calls in flight, every pending caller gets a *CallError carrying
+// the phase and the root cause — not a bare channel close.
+func TestTeardownDeliversTypedCallError(t *testing.T) {
+	block := make(chan struct{})
+	defer close(block)
+	c := startPair(t, func(_ context.Context, _ byte, _ []byte) ([]byte, error) {
+		<-block
+		return nil, nil
+	})
+	const n = 4
+	pcs := make([]*PendingCall, n)
+	for i := range pcs {
+		pc, err := c.Start(context.Background(), MsgCall, []byte("x"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		pcs[i] = pc
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	for i, pc := range pcs {
+		_, err := pc.Wait(context.Background())
+		var ce *CallError
+		if !errors.As(err, &ce) {
+			t.Fatalf("call %d: want *CallError, got %v", i, err)
+		}
+		if ce.Phase != PhaseAwait || !ce.Sent {
+			t.Fatalf("call %d: phase/sent misreported: %+v", i, ce)
+		}
+		if !errors.Is(err, ErrClosed) {
+			t.Fatalf("call %d: root cause lost: %v", i, err)
+		}
+	}
+}
+
+// TestOneWayNoReply exercises the one-way flag end to end: the handler
+// runs (and can see it was called one-way), no reply frame is consumed,
+// no pending entry is registered, and the stream stays usable for normal
+// calls afterwards.
+func TestOneWayNoReply(t *testing.T) {
+	bufpool.SetDebug(true)
+	defer bufpool.SetDebug(false)
+	var mu sync.Mutex
+	var seen []string
+	var oneWay []bool
+	c := startPair(t, func(ctx context.Context, _ byte, p []byte) ([]byte, error) {
+		mu.Lock()
+		seen = append(seen, string(p))
+		oneWay = append(oneWay, IsOneWay(ctx))
+		mu.Unlock()
+		if IsOneWay(ctx) {
+			// Whatever a handler returns on a one-way call is discarded;
+			// returning an error must not produce a reply frame either.
+			return nil, errors.New("discarded")
+		}
+		out := make([]byte, 64)
+		copy(out, p)
+		return out, nil
+	})
+	if err := c.CallOneWay(context.Background(), MsgCall, make([]byte, 64)); err != nil {
+		t.Fatal(err)
+	}
+	if c.InFlight() != 0 {
+		t.Fatalf("one-way call registered a pending entry: %d", c.InFlight())
+	}
+	// The one-way send has no reply to synchronize on; a normal call after
+	// it is answered in arrival order by the same conn, so once it returns
+	// the one-way handler has been dispatched.
+	got, err := c.Call(context.Background(), MsgCall, make([]byte, 64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ReleasePayload(got)
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		mu.Lock()
+		n := len(seen)
+		mu.Unlock()
+		if n >= 2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("one-way handler never ran (saw %d calls)", n)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	mu.Lock()
+	if !oneWay[0] || oneWay[1] {
+		t.Fatalf("IsOneWay misreported: %v", oneWay)
+	}
+	mu.Unlock()
+	settleLedger(t)
+}

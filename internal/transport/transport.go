@@ -8,7 +8,8 @@
 //	magic    u16  0x4E52 ("NR")
 //	type     u8   message type, caller-defined
 //	flags    u8   0x01 = error reply, 0x02 = DEFLATE payload,
-//	              0x04 = deadline extension present, 0x08 = status byte
+//	              0x04 = deadline extension present, 0x08 = status byte,
+//	              0x10 = one-way request (no reply frame will follow)
 //	reqID    u64  request correlation id
 //	length   u32  payload byte count
 //	[deadline u64] remaining call budget in microseconds (flag 0x04 only)
@@ -60,6 +61,7 @@ const (
 	flagDeflate  = 0x02
 	flagDeadline = 0x04
 	flagStatus   = 0x08
+	flagOneWay   = 0x10
 	maxFrameSize = 64 << 20
 
 	// compressThreshold is the payload size above which frames are
@@ -363,15 +365,26 @@ type Conn struct {
 	nextID  atomic.Uint64
 
 	mu      sync.Mutex
-	pending map[uint64]chan frame
+	pending map[uint64]*pendingReply
 	err     error
 	closed  bool
+}
+
+// pendingReply is one in-flight request's delivery slot. Exactly one of
+// the read loop and failAll claims it (removing it from the pending map
+// under c.mu), fills f or err, and closes done. The waiter side — Wait or
+// Abandon — synchronizes on the close, so f and err are never read before
+// they are fully written.
+type pendingReply struct {
+	done chan struct{}
+	f    frame
+	err  *CallError
 }
 
 // NewConn wraps an established net.Conn as a client transport connection
 // and starts its read loop.
 func NewConn(c net.Conn) *Conn {
-	tc := &Conn{c: c, pending: make(map[uint64]chan frame)}
+	tc := &Conn{c: c, pending: make(map[uint64]*pendingReply)}
 	go tc.readLoop()
 	return tc
 }
@@ -389,30 +402,38 @@ func (c *Conn) readLoop() {
 			return
 		}
 		c.mu.Lock()
-		ch, ok := c.pending[f.reqID]
+		e, ok := c.pending[f.reqID]
 		if ok {
 			delete(c.pending, f.reqID)
 		}
 		c.mu.Unlock()
 		if ok {
-			ch <- f
+			e.f = f
+			close(e.done)
 		} else {
-			// Unmatched reply: the caller timed out and moved on, so nothing
-			// will ever read the payload — recycle it.
+			// Unmatched reply: the caller abandoned the call and moved on, so
+			// nothing will ever read the payload — recycle it.
 			ReleasePayload(f.payload)
 		}
 	}
 }
 
+// failAll rejects every pending call with a typed *CallError carrying the
+// connection's root cause, so promise rejection and eviction-cause metrics
+// stay accurate when a conn dies mid-flight. Every failed call was already
+// fully written (registration precedes the write, and write failures
+// deregister before failing the conn), hence Sent: true.
 func (c *Conn) failAll(err error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.err == nil {
 		c.err = err
 	}
-	for id, ch := range c.pending {
+	root := c.err
+	for id, e := range c.pending {
 		delete(c.pending, id)
-		close(ch)
+		e.err = &CallError{Phase: PhaseAwait, Sent: true, Err: root}
+		close(e.done)
 	}
 	c.closed = true
 }
@@ -441,22 +462,34 @@ func (c *Conn) Err() error {
 
 // InFlight returns the number of calls currently awaiting a reply on this
 // connection — the per-connection load signal the fleet balancer and the
-// load harness read. A closed connection reports 0: its pending calls
-// have all been failed.
+// load harness read. A closed connection reports 0 because its pending
+// calls have all been failed, so anything treating InFlight as a load
+// score must gate on Err() first: a dead conn is not an idle one.
 func (c *Conn) InFlight() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return len(c.pending)
 }
 
-// Call sends one request frame and blocks for its reply (or ctx
-// expiration). A ctx deadline additionally travels with the frame as the
-// call's remaining budget, so the server can abandon work this caller has
-// already given up on. An error-flagged reply surfaces as *RemoteError
-// (or *StatusError when the peer sent a status code); every
-// transport-level failure surfaces as *CallError, whose Sent field tells
-// retry layers whether the server could have seen the request.
-func (c *Conn) Call(ctx context.Context, msgType byte, payload []byte) ([]byte, error) {
+// PendingCall is one in-flight request started by Conn.Start: the
+// transport-level half of a promise. Its reply is consumed with Wait or
+// relinquished with Abandon — exactly one of the two must eventually run,
+// or the pooled reply payload leaks. A PendingCall is owned by a single
+// goroutine; it is not safe for concurrent use (Done is the exception and
+// may be polled from anywhere).
+type PendingCall struct {
+	c       *Conn
+	id      uint64
+	e       *pendingReply
+	settled bool
+}
+
+// Start sends one request frame and returns a PendingCall for its reply,
+// without blocking on the round trip. A ctx deadline travels with the
+// frame as the call's remaining budget (the context itself is not
+// monitored after Start returns; pass it again to Wait). On error the
+// call is not registered and there is nothing to abandon.
+func (c *Conn) Start(ctx context.Context, msgType byte, payload []byte) (*PendingCall, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, &CallError{Phase: PhaseSend, Err: err}
 	}
@@ -476,8 +509,8 @@ func (c *Conn) Call(ctx context.Context, msgType byte, payload []byte) ([]byte, 
 		return nil, &CallError{Phase: PhaseSend, Err: err}
 	}
 	id := c.nextID.Add(1)
-	ch := make(chan frame, 1)
-	c.pending[id] = ch
+	e := &pendingReply{done: make(chan struct{})}
+	c.pending[id] = e
 	c.mu.Unlock()
 
 	c.writeMu.Lock()
@@ -500,53 +533,160 @@ func (c *Conn) Call(ctx context.Context, msgType byte, payload []byte) ([]byte, 
 		// framing layer, so the call was provably not dispatched.
 		return nil, &CallError{Phase: PhaseSend, Err: err}
 	}
+	return &PendingCall{c: c, id: id, e: e}, nil
+}
 
+// Done returns a channel closed once the reply (or the connection's
+// terminal error) has been delivered, so promise layers can poll or select
+// on readiness without consuming the reply.
+func (p *PendingCall) Done() <-chan struct{} { return p.e.done }
+
+// Ready reports, without blocking, whether Wait would return immediately.
+func (p *PendingCall) Ready() bool {
 	select {
-	case f, ok := <-ch:
-		if !ok {
-			c.mu.Lock()
-			err := c.err
-			c.mu.Unlock()
-			if err == nil {
-				err = ErrClosed
-			}
-			return nil, &CallError{Phase: PhaseAwait, Sent: true, Err: err}
-		}
-		if f.flags&flagError != 0 {
-			// The error strings below copy out of the payload, so it can be
-			// recycled immediately.
-			if f.flags&flagStatus != 0 && len(f.payload) >= 1 {
-				serr := &StatusError{Code: f.payload[0], Msg: string(f.payload[1:])}
-				ReleasePayload(f.payload)
-				return nil, serr
-			}
-			rerr := &RemoteError{Msg: string(f.payload)}
-			ReleasePayload(f.payload)
-			return nil, rerr
-		}
-		// Ownership of the reply payload passes to the caller, who may hand
-		// it back via ReleasePayload once fully consumed.
-		return f.payload, nil
+	case <-p.e.done:
+		return true
+	default:
+		return false
+	}
+}
+
+// Wait blocks for the reply (or ctx expiration) and consumes it. On ctx
+// expiry the call is abandoned exactly as by Abandon, so Wait never
+// strands a pooled payload; the pending call is settled either way and
+// must not be waited on again. Error mapping matches Conn.Call.
+func (p *PendingCall) Wait(ctx context.Context) ([]byte, error) {
+	if p.settled {
+		return nil, &CallError{Phase: PhaseAwait, Sent: true, Err: ErrClosed}
+	}
+	select {
+	case <-p.e.done:
+		p.settled = true
+		return p.consume()
 	case <-ctx.Done():
-		c.mu.Lock()
-		_, pendingStill := c.pending[id]
-		if pendingStill {
-			delete(c.pending, id)
-		}
-		c.mu.Unlock()
-		if !pendingStill {
-			// We lost the race: the read loop already claimed this id and is
-			// delivering the reply to ch (buffered, so its send cannot
-			// block), or failAll closed the channel. Without this receive
-			// the pooled reply payload would be stranded — delivered to a
-			// channel nothing reads — and leak from the pool on every
-			// deadline that crosses its reply on the wire.
-			if f, ok := <-ch; ok {
-				ReleasePayload(f.payload)
-			}
-		}
+		p.Abandon()
 		return nil, &CallError{Phase: PhaseAwait, Sent: true, Err: ctx.Err()}
 	}
+}
+
+// consume interprets the delivered reply. Ownership of a success payload
+// passes to the caller; error replies are decoded into typed errors and
+// their payloads recycled here.
+func (p *PendingCall) consume() ([]byte, error) {
+	e := p.e
+	if e.err != nil {
+		return nil, e.err
+	}
+	f := e.f
+	if f.flags&flagError != 0 {
+		// The error strings below copy out of the payload, so it can be
+		// recycled immediately.
+		if f.flags&flagStatus != 0 && len(f.payload) >= 1 {
+			serr := &StatusError{Code: f.payload[0], Msg: string(f.payload[1:])}
+			ReleasePayload(f.payload)
+			return nil, serr
+		}
+		rerr := &RemoteError{Msg: string(f.payload)}
+		ReleasePayload(f.payload)
+		return nil, rerr
+	}
+	// Ownership of the reply payload passes to the caller, who may hand
+	// it back via ReleasePayload once fully consumed.
+	return f.payload, nil
+}
+
+// Abandon relinquishes a pending call without consuming its reply,
+// guaranteeing the pooled payload is released exactly once whichever side
+// of the reply/abandon race wins:
+//
+//   - abandon first: the entry is removed from the pending map here, so a
+//     reply landing later is unmatched and the read loop recycles it;
+//   - reply first: the read loop (or failAll) already claimed the entry
+//     and is delivering, so Abandon waits for the imminent close of done
+//     and recycles the payload itself.
+//
+// This is the window the pre-async reply path raced in (a reply landing
+// after ctx expiry but before the pending-entry delete), widened by
+// promises: an abandoned promise has no goroutine sitting in a select to
+// drain the delivery. Abandon is idempotent on a settled call.
+func (p *PendingCall) Abandon() {
+	if p.settled {
+		return
+	}
+	p.settled = true
+	c := p.c
+	c.mu.Lock()
+	_, pendingStill := c.pending[p.id]
+	if pendingStill {
+		delete(c.pending, p.id)
+	}
+	c.mu.Unlock()
+	if pendingStill {
+		return
+	}
+	<-p.e.done
+	if p.e.err == nil {
+		ReleasePayload(p.e.f.payload)
+	}
+}
+
+// Call sends one request frame and blocks for its reply (or ctx
+// expiration). A ctx deadline additionally travels with the frame as the
+// call's remaining budget, so the server can abandon work this caller has
+// already given up on. An error-flagged reply surfaces as *RemoteError
+// (or *StatusError when the peer sent a status code); every
+// transport-level failure surfaces as *CallError, whose Sent field tells
+// retry layers whether the server could have seen the request. Call is
+// Start followed by Wait, so the synchronous and promise paths share one
+// reply/abandon implementation.
+func (c *Conn) Call(ctx context.Context, msgType byte, payload []byte) ([]byte, error) {
+	pc, err := c.Start(ctx, msgType, payload)
+	if err != nil {
+		return nil, err
+	}
+	return pc.Wait(ctx)
+}
+
+// CallOneWay sends a request flagged one-way and returns as soon as the
+// frame is written: the peer executes the call but writes no reply frame
+// (PROTOCOL.md section 10), so no pending entry is registered and the
+// request costs no round trip. A ctx deadline still ships as the call
+// budget so the server can drop stale work. Every failure is a
+// *CallError with Sent=false — the frame provably never went out whole —
+// making one-way sends always safe to retry.
+func (c *Conn) CallOneWay(ctx context.Context, msgType byte, payload []byte) error {
+	if err := ctx.Err(); err != nil {
+		return &CallError{Phase: PhaseSend, Err: err}
+	}
+	var budget time.Duration
+	if dl, ok := ctx.Deadline(); ok {
+		if budget = time.Until(dl); budget <= 0 {
+			return &CallError{Phase: PhaseSend, Err: context.DeadlineExceeded}
+		}
+	}
+	c.mu.Lock()
+	if c.closed {
+		err := c.err
+		c.mu.Unlock()
+		if err == nil {
+			err = ErrClosed
+		}
+		return &CallError{Phase: PhaseSend, Err: err}
+	}
+	id := c.nextID.Add(1)
+	c.mu.Unlock()
+
+	c.writeMu.Lock()
+	err := writeFrame(c.c, frame{msgType: msgType, flags: flagOneWay, reqID: id, deadline: budget, payload: payload}, c.compress.Load())
+	c.writeMu.Unlock()
+	if err != nil {
+		if !errors.Is(err, ErrFrameTooLarge) {
+			c.failAll(err)
+			_ = c.c.Close()
+		}
+		return &CallError{Phase: PhaseSend, Err: err}
+	}
+	return nil
 }
 
 // Close tears the connection down; in-flight calls fail with ErrClosed.
@@ -554,6 +694,21 @@ func (c *Conn) Close() error {
 	err := c.c.Close()
 	c.failAll(ErrClosed)
 	return err
+}
+
+// oneWayKey marks request contexts whose frame carried the one-way flag.
+type oneWayKey struct{}
+
+func withOneWay(ctx context.Context) context.Context {
+	return context.WithValue(ctx, oneWayKey{}, true)
+}
+
+// IsOneWay reports whether the request being handled arrived one-way: no
+// reply frame will be written, so handlers can skip assembling one (the
+// returned reply and error are discarded).
+func IsOneWay(ctx context.Context) bool {
+	v, _ := ctx.Value(oneWayKey{}).(bool)
+	return v
 }
 
 // Handler processes one inbound request and produces a reply payload.
@@ -653,6 +808,15 @@ func (s *Server) serveConn(c net.Conn) {
 				var cancel context.CancelFunc
 				ctx, cancel = context.WithTimeout(ctx, f.deadline)
 				defer cancel()
+			}
+			if f.flags&flagOneWay != 0 {
+				ctx = withOneWay(ctx)
+				_, _ = s.safeHandle(ctx, f.msgType, f.payload)
+				// One-way contract: no reply frame, success or failure
+				// (PROTOCOL.md section 10). The handler has returned, so
+				// the request buffer is free.
+				ReleasePayload(f.payload)
+				return
 			}
 			reply, err := s.safeHandle(ctx, f.msgType, f.payload)
 			out := frame{msgType: MsgReply, reqID: f.reqID}

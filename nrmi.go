@@ -50,6 +50,7 @@
 package nrmi
 
 import (
+	"context"
 	"net"
 	"time"
 
@@ -178,6 +179,13 @@ type Options struct {
 	// MaxRequestBytes rejects call payloads larger than this before any
 	// decoding work on the server. Zero means unlimited.
 	MaxRequestBytes int
+	// BatchCalls enables server-side call coalescing: while one call on a
+	// service executes, up to BatchCalls-1 queued calls for the same
+	// service join its batch and are dispatched back-to-back, sharing one
+	// linear-map walker (amortizing capture across the batch). Values
+	// below 2 disable coalescing. Restore semantics are unchanged — each
+	// call's response is built exactly as if dispatched alone.
+	BatchCalls int
 	// Observer receives per-call phase measurements (latency, bytes, object
 	// counts per pipeline phase) from this endpoint; see NewObserver. Nil
 	// disables phase recording entirely — the disabled path costs nothing
@@ -198,6 +206,33 @@ type RetryPolicy = rmi.RetryPolicy
 // ResponseConsumedError marks a call that failed after its response bytes
 // were consumed; such calls are never retried (exactly-once restore).
 type ResponseConsumedError = rmi.ResponseConsumedError
+
+// Promise is the handle to an asynchronous call issued with
+// Stub.CallAsync. Wait consumes the response — decoding results and
+// committing the copy-restore writeback at that point, serialized
+// against the client's other commits — and every later Wait returns the
+// same outcome. Compose dependent calls with Promise.Then, join fans of
+// independent calls with All, and release a response that will never be
+// consumed with Promise.Abandon. A Promise is single-owner: methods on
+// one Promise must not race each other.
+type Promise = rmi.Promise
+
+// ErrPromiseAbandoned is reported by Wait on a promise released with
+// Abandon before its response was consumed.
+var ErrPromiseAbandoned = rmi.ErrPromiseAbandoned
+
+// ErrOneWayRestorable rejects Stub.CallOneWay invocations carrying a
+// Restorable argument: a one-way call has no reply frame to carry the
+// restore image, so copy-restore semantics are impossible by
+// construction (docs/PROTOCOL.md, section 10).
+var ErrOneWayRestorable = rmi.ErrOneWayRestorable
+
+// All waits for every promise in order and collects their results;
+// ps[i]'s results land in the i-th slot. On the first failure it
+// abandons the remaining unconsumed promises and returns that error —
+// All is a join, not a transaction: restores committed by promises that
+// completed before the failure remain applied.
+func All(ctx context.Context, ps ...*Promise) ([][]any, error) { return rmi.All(ctx, ps...) }
 
 // Retryable reports whether a failed call may safely be re-sent; see the
 // rmi layer documentation for the classification rules.
@@ -267,6 +302,7 @@ func (o Options) rmiOptions() rmi.Options {
 		AdmissionQueue:     o.AdmissionQueue,
 		AdmissionWait:      o.AdmissionWait,
 		MaxRequestBytes:    o.MaxRequestBytes,
+		BatchCalls:         o.BatchCalls,
 	}
 	// The nil check matters: assigning a nil *Observer directly would make
 	// the interface non-nil and turn on the recording path for nothing.
